@@ -1,0 +1,171 @@
+"""Ablation: federated vs isolated learning of operating-point models.
+
+Paper Sec. IV: "combining learned models from different agents using FL
+techniques, allowing MIRTO edge agents to evolve based on each other's
+experiences, is currently under consideration." This ablation gives that
+consideration numbers: edge agents each see a *disjoint region* of the
+workload space; we compare (a) isolated local models, (b) FedAvg, (c)
+FedProx, on held-out data spanning the full space, sweeping rounds and
+client counts. Expected shape: federation generalizes to unseen regions
+where isolation fails; more rounds and more clients help.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mirto.learning import (
+    FederatedClient,
+    FederatedTrainer,
+    LinearModel,
+    make_operating_point_dataset,
+)
+
+from _report import emit, table
+
+
+def build_clients(n_clients: int, seed: int) -> list[FederatedClient]:
+    rng = np.random.default_rng(seed)
+    clients = []
+    span = 1600.0 / n_clients
+    for i in range(n_clients):
+        lo = 10.0 + i * span
+        features, targets = make_operating_point_dataset(
+            rng, 60, megaops_range=(lo, lo + span))
+        clients.append(FederatedClient(
+            name=f"edge-{i}", model=LinearModel(3),
+            features=features, targets=targets))
+    return clients
+
+
+def global_test_set(seed: int = 101):
+    rng = np.random.default_rng(seed)
+    return make_operating_point_dataset(rng, 400,
+                                        megaops_range=(10.0, 1610.0))
+
+
+def isolated_loss(clients, x_test, y_test) -> float:
+    """Mean test loss of per-client models trained only locally."""
+    losses = []
+    for client in clients:
+        model = LinearModel(3)
+        for _ in range(200):
+            model.gradient_step(client.features, client.targets, lr=0.1)
+        losses.append(model.loss(x_test, y_test))
+    return float(np.mean(losses))
+
+
+def run_rounds_sweep():
+    x_test, y_test = global_test_set()
+    baseline = isolated_loss(build_clients(4, seed=1), x_test, y_test)
+    curves = {}
+    for algorithm in ("fedavg", "fedprox"):
+        trainer = FederatedTrainer(build_clients(4, seed=1),
+                                   algorithm=algorithm)
+        losses = []
+        for _ in range(30):
+            trainer.round(local_epochs=8, lr=0.1)
+            losses.append(trainer.global_model(3).loss(x_test, y_test))
+        curves[algorithm] = losses
+    return baseline, curves
+
+
+def test_federated_vs_isolated_rounds(benchmark):
+    baseline, curves = benchmark.pedantic(run_rounds_sweep, rounds=1,
+                                          iterations=1)
+    checkpoints = [1, 5, 10, 20, 30]
+    rows = []
+    for algorithm, losses in curves.items():
+        for rounds in checkpoints:
+            rows.append([algorithm, str(rounds),
+                         f"{losses[rounds - 1]:.4f}"])
+    rows.append(["isolated (no FL)", "-", f"{baseline:.4f}"])
+    lines = ["ABLATION: FL rounds vs held-out loss (4 edge agents,",
+             "disjoint workload regions, test spans the full space)",
+             ""]
+    lines += table(["algorithm", "rounds", "test loss"], rows)
+    emit("ablation_federated_rounds", lines)
+    # Shape: both FL variants beat isolated training; loss improves
+    # with rounds.
+    for algorithm, losses in curves.items():
+        assert losses[-1] < baseline, algorithm
+        assert losses[-1] < losses[0], algorithm
+
+
+def run_clients_sweep():
+    x_test, y_test = global_test_set(seed=202)
+    results = {}
+    for n_clients in (2, 4, 8):
+        trainer = FederatedTrainer(build_clients(n_clients, seed=2))
+        trainer.train(rounds=20, local_epochs=8, lr=0.1)
+        fl_loss = trainer.global_model(3).loss(x_test, y_test)
+        iso_loss = isolated_loss(build_clients(n_clients, seed=2),
+                                 x_test, y_test)
+        results[n_clients] = (fl_loss, iso_loss)
+    return results
+
+
+def test_federated_advantage_grows_with_fragmentation(benchmark):
+    """Fixing the total workload space and fragmenting it over more
+    agents hurts everyone (each agent sees a narrower slice — the
+    classic heterogeneity/client-drift regime), but FL's advantage over
+    isolated training *widens*: the more fragmented the experience, the
+    more agents gain from evolving 'based on each other's experiences'.
+    """
+    results = benchmark.pedantic(run_clients_sweep, rounds=1,
+                                 iterations=1)
+    rows = []
+    for n, (fl_loss, iso_loss) in results.items():
+        rows.append([str(n), f"{fl_loss:.4f}", f"{iso_loss:.4f}",
+                     f"{iso_loss / fl_loss:.1f}x"])
+    lines = ["ABLATION: data fragmentation (clients over a fixed",
+             "workload space) vs held-out loss, FL vs isolated", ""]
+    lines += table(["clients", "FL loss", "isolated loss",
+                    "FL advantage"], rows)
+    emit("ablation_federated_clients", lines)
+    # Shape: FL beats isolated at every fragmentation level, and the
+    # advantage grows as fragments shrink.
+    advantages = []
+    for n, (fl_loss, iso_loss) in results.items():
+        assert fl_loss < iso_loss, n
+        advantages.append(iso_loss / fl_loss)
+    assert advantages[-1] > advantages[0]
+
+
+def test_federation_transfers_to_node_manager(benchmark):
+    """Closing the loop: the federated model actually drives operating
+    point selection on a device the training data never came from."""
+
+    def probe():
+        from repro.continuum import Simulator, DeviceKind, make_device
+        from repro.continuum.workload import Task
+        from repro.continuum.infrastructure import Infrastructure
+        from repro.mirto.manager import NodeManager
+        trainer = FederatedTrainer(build_clients(4, seed=3))
+        trainer.train(rounds=20, local_epochs=8, lr=0.1)
+        sim = Simulator()
+        infrastructure = Infrastructure(sim)
+        device = infrastructure.add_device(DeviceKind.HMPSOC_FPGA,
+                                           name="fpga")
+        node_manager = NodeManager(infrastructure)
+        node_manager.attach_model("fpga", trainer.global_model(3))
+        light = Task("light", megaops=50)
+        heavy = Task("heavy", megaops=1800)
+        loose_budget = 2.0
+        tight_budget = 0.3
+        return {
+            "light/loose": node_manager.select_operating_point(
+                device, light, loose_budget),
+            "heavy/tight": node_manager.select_operating_point(
+                device, heavy, tight_budget),
+        }
+
+    choices = benchmark.pedantic(probe, rounds=1, iterations=1)
+    lines = ["ABLATION: federated model driving Node Manager choices",
+             ""]
+    lines += table(["situation", "selected operating point"],
+                   [[k, v] for k, v in choices.items()])
+    emit("ablation_federated_node_manager", lines)
+    # A light task with slack should run cheap; a heavy task under a
+    # tight budget should not pick the cheapest point.
+    assert choices["light/loose"] == "low-power"
+    assert choices["heavy/tight"] != "low-power"

@@ -1,0 +1,209 @@
+"""Ablation: the distributed Knowledge Base under failures.
+
+The paper picks a strongly consistent KB (etcd/Raft) as the substrate
+for observability and decision-making. This ablation measures what that
+choice buys and costs: write availability across replica counts and
+failure patterns, convergence after partitions heal, the message
+overhead of consensus, and the decision-quality consequence of reading
+stale state when consistency is abandoned.
+"""
+
+import random
+
+import pytest
+
+from repro.kb import KnowledgeBase
+from repro.kb.raft import RaftCluster
+
+from _report import emit, table
+
+
+def availability_under_failures():
+    """Fraction of 30 writes that commit, per replica count x failures."""
+    results = {}
+    for replicas in (1, 3, 5):
+        for failures in (0, 1, 2):
+            if failures >= replicas:
+                continue
+            kb = KnowledgeBase(replicas=replicas, seed=7)
+            kb.put("warmup", 0)
+            for i in range(failures):
+                victims = [n for n in kb.cluster.nodes
+                           if n != kb.cluster.leader()]
+                kb.cluster.stop(victims[i])
+            committed = 0
+            for i in range(30):
+                try:
+                    kb.put(f"key-{i}", i)
+                    committed += 1
+                except Exception:
+                    break
+            results[(replicas, failures)] = committed / 30
+    return results
+
+
+def test_kb_availability_matrix(benchmark):
+    results = benchmark.pedantic(availability_under_failures, rounds=1,
+                                 iterations=1)
+    rows = [[str(replicas), str(failures), f"{rate:.0%}"]
+            for (replicas, failures), rate in sorted(results.items())]
+    lines = ["ABLATION: KB write availability, replicas x crashed",
+             "followers (30 writes each)", ""]
+    lines += table(["replicas", "crashed", "writes committed"], rows)
+    emit("ablation_kb_availability", lines)
+    # Majority intact -> fully available.
+    assert results[(3, 1)] == 1.0
+    assert results[(5, 2)] == 1.0
+    assert results[(1, 0)] == 1.0
+
+
+def test_kb_partition_heal_convergence(benchmark):
+    """A partitioned minority accepts nothing; after healing it
+    converges to the majority's history — no lost or phantom writes."""
+
+    def probe():
+        kb = KnowledgeBase(replicas=5, seed=9)
+        kb.put("before", 1)
+        leader = kb.cluster.run_until_leader()
+        minority = [n for n in kb.cluster.nodes if n != leader][:2]
+        for node in minority:
+            kb.cluster.isolate(node)
+        for i in range(10):
+            kb.put(f"during-{i}", i)
+        kb.cluster.heal()
+        kb.tick(150)
+        states = kb.replica_states()
+        reference = states[leader]
+        return states, reference, minority
+
+    states, reference, minority = benchmark.pedantic(probe, rounds=1,
+                                                     iterations=1)
+    lines = ["ABLATION: partition heal — replica convergence", "",
+             f"majority keys: {len(reference)}"]
+    for name, state in states.items():
+        tag = " (was partitioned)" if name in minority else ""
+        lines.append(f"  {name}: {len(state)} keys, "
+                     f"identical: {state == reference}{tag}")
+    emit("ablation_kb_partition_heal", lines)
+    assert all(state == reference for state in states.values())
+    assert len(reference) == 11
+
+
+def test_kb_consensus_message_cost(benchmark):
+    """The price of consistency: messages per committed write grows
+    with replica count (every entry is replicated to all)."""
+
+    def measure():
+        costs = {}
+        for replicas in (1, 3, 5):
+            kb = KnowledgeBase(replicas=replicas, seed=11)
+            kb.put("warmup", 0)
+            before = kb.cluster.messages_sent
+            for i in range(20):
+                kb.put(f"k{i}", i)
+            costs[replicas] = (kb.cluster.messages_sent - before) / 20
+        return costs
+
+    costs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["ABLATION: consensus messages per committed write", ""]
+    lines += table(["replicas", "messages/write"],
+                   [[str(n), f"{cost:.1f}"]
+                    for n, cost in costs.items()])
+    emit("ablation_kb_message_cost", lines)
+    assert costs[1] < costs[3] < costs[5]
+
+
+def test_stale_state_degrades_decisions(benchmark):
+    """Why MIRTO wants a consistent KB: an orchestrator working from a
+    stale utilization snapshot keeps routing work to an already-loaded
+    device. We simulate 40 placement decisions over 4 devices whose
+    load the decider only observes through its snapshot."""
+
+    def simulate(refresh_every: int) -> float:
+        rng = random.Random(3)
+        true_load = {f"dev-{i}": 0.0 for i in range(4)}
+        snapshot = dict(true_load)
+        imbalance_sum = 0.0
+        for step in range(40):
+            if step % refresh_every == 0:
+                snapshot = dict(true_load)  # consistent read
+            target = min(snapshot, key=lambda d: snapshot[d])
+            true_load[target] += 1.0
+            # Work also drains.
+            for dev in true_load:
+                true_load[dev] = max(0.0, true_load[dev]
+                                     - 0.2 * rng.random())
+            values = list(true_load.values())
+            imbalance_sum += max(values) - min(values)
+        return imbalance_sum / 40
+
+    def sweep():
+        return {refresh: simulate(refresh)
+                for refresh in (1, 5, 20, 40)}
+
+    imbalance = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["ABLATION: decision quality vs KB staleness",
+             "(mean load imbalance across 4 devices, 40 decisions)", ""]
+    lines += table(["refresh every N decisions", "mean imbalance"],
+                   [[str(n), f"{v:.2f}"]
+                    for n, v in imbalance.items()])
+    emit("ablation_kb_staleness", lines)
+    assert imbalance[1] < imbalance[40]
+    assert imbalance[1] < imbalance[20]
+
+
+def test_kb_log_compaction_bounds_memory(benchmark):
+    """The etcd role needs bounded logs: with compaction enabled, the
+    Raft log stays below the threshold regardless of write volume,
+    while an uncompacted log grows linearly — and a crashed replica
+    catches up via InstallSnapshot instead of replaying everything."""
+
+    def measure():
+        compacted = KnowledgeBase(replicas=3, seed=13,
+                                  snapshot_threshold=16)
+        unbounded = KnowledgeBase(replicas=3, seed=13)
+        for i in range(120):
+            compacted.put(f"k{i % 9}", i)
+            unbounded.put(f"k{i % 9}", i)
+        compacted.tick(80)
+        unbounded.tick(80)
+        leader_c = compacted.cluster.run_until_leader()
+        leader_u = unbounded.cluster.run_until_leader()
+        # Crash-and-recover a compacted follower.
+        victim = next(n for n in compacted.cluster.nodes
+                      if n != leader_c)
+        compacted.cluster.stop(victim)
+        for i in range(40):
+            compacted.put(f"late-{i % 3}", i)
+        compacted.cluster.restart(victim)
+        compacted.tick(200)
+        return {
+            "compacted_log": len(
+                compacted.cluster.nodes[leader_c].log),
+            "unbounded_log": len(
+                unbounded.cluster.nodes[leader_u].log),
+            "snapshots_taken": compacted.cluster.nodes[leader_c]
+            .snapshots_taken,
+            "snapshots_installed": compacted.cluster.nodes[victim]
+            .snapshots_installed,
+            "recovered_state_ok": (
+                compacted.replica_states()[victim]
+                == compacted.replica_states()[
+                    compacted.cluster.run_until_leader()]),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["ABLATION: Raft log compaction (threshold 16, 120+40",
+             "writes)", "",
+             f"compacted leader log entries: {result['compacted_log']}",
+             f"unbounded leader log entries: {result['unbounded_log']}",
+             f"snapshots taken by leader: {result['snapshots_taken']}",
+             f"snapshots installed by recovering follower: "
+             f"{result['snapshots_installed']}",
+             f"recovered replica state identical: "
+             f"{result['recovered_state_ok']}"]
+    emit("ablation_kb_compaction", lines)
+    assert result["compacted_log"] < result["unbounded_log"] / 4
+    assert result["snapshots_taken"] >= 1
+    assert result["snapshots_installed"] >= 1
+    assert result["recovered_state_ok"]

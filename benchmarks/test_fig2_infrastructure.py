@@ -1,0 +1,173 @@
+"""Reproduces paper FIGURE 2: the layered continuum infrastructure.
+
+Fig. 2 drafts the generic architecture: edge (multicores, HMPSoC FPGAs,
+RISC-V+CGRA), fog (smart gateways, FMDCs), cloud — with MIRTO agents on
+every layer and horizontal/vertical workload movement. This bench builds
+that reference infrastructure, drives a mixed workload through it, and
+regenerates the figure as a per-layer activity report plus the
+offload-direction statistics that demonstrate the continuum behaviour
+the figure depicts.
+"""
+
+import random
+
+import pytest
+
+from repro.continuum import (
+    DeviceKind,
+    Layer,
+    Simulator,
+    Task,
+    build_reference_infrastructure,
+)
+from repro.continuum.workload import (
+    Application,
+    KernelClass,
+    PrivacyClass,
+    TaskRequirements,
+)
+from repro.mirto.placement import (
+    PlacementConstraints,
+    execute_placement,
+    make_strategy,
+)
+
+from _report import emit, table
+
+
+def mixed_application(index: int, rng: random.Random) -> Application:
+    """A small app whose stages naturally want different layers."""
+    app = Application(f"mixed-{index}")
+    privacy = rng.choice([PrivacyClass.PUBLIC, PrivacyClass.AGGREGATED,
+                          PrivacyClass.RAW_PERSONAL])
+    reqs = TaskRequirements(latency_budget_s=5.0, privacy=privacy)
+    app.add_task(Task("acquire", rng.uniform(20, 80),
+                      input_bytes=rng.randrange(50_000, 400_000),
+                      requirements=reqs))
+    app.add_task(Task("transform", rng.uniform(300, 1500),
+                      kernel=rng.choice([KernelClass.DSP,
+                                         KernelClass.NEURAL,
+                                         KernelClass.GENERAL]),
+                      requirements=reqs))
+    # The analytics stage may go anywhere privacy allows.
+    app.add_task(Task("analyze", rng.uniform(500, 4000),
+                      kernel=KernelClass.ANALYTICS,
+                      requirements=TaskRequirements(
+                          latency_budget_s=5.0,
+                          privacy=PrivacyClass.PUBLIC
+                          if privacy is PrivacyClass.PUBLIC
+                          else PrivacyClass.AGGREGATED)))
+    app.connect("acquire", "transform", 100_000)
+    app.connect("transform", "analyze", 20_000)
+    return app
+
+
+def run_mixed_workload(apps: int = 20, seed: int = 2):
+    sim = Simulator()
+    infrastructure = build_reference_infrastructure(
+        sim, edge_sites=2, fmdcs=1, cloud_servers=2)
+    rng = random.Random(seed)
+    strategy = make_strategy("greedy")
+    source = infrastructure.devices_of_kind(
+        DeviceKind.EDGE_MULTICORE)[0].name
+    for i in range(apps):
+        app = mixed_application(i, rng)
+        placement = strategy.place(app, infrastructure,
+                                   PlacementConstraints(
+                                       source_device=source))
+        execute_placement(app, placement, infrastructure,
+                          source_device=source)
+    return infrastructure
+
+
+def test_fig2_layer_report(benchmark):
+    infrastructure = benchmark.pedantic(run_mixed_workload, rounds=1,
+                                        iterations=1)
+    report = infrastructure.layer_report()
+    rows = []
+    for layer in ("edge", "fog", "cloud"):
+        stats = report[layer]
+        rows.append([
+            layer,
+            f"{stats['devices']:.0f}",
+            f"{stats['tasks_executed']:.0f}",
+            f"{stats['accelerated_tasks']:.0f}",
+            f"{stats['mean_utilization']:.1%}",
+            f"{stats['total_energy_j']:.1f}",
+        ])
+    offloads = infrastructure.offloads
+    lines = ["FIGURE 2 (reproduced): layered continuum under a mixed",
+             "20-application workload (greedy placement)", ""]
+    lines += table(["layer", "devices", "tasks", "accel",
+                    "mean util", "energy J"], rows)
+    lines += ["",
+              f"workload movement: {offloads.horizontal} horizontal, "
+              f"{offloads.vertical_up} vertical-up, "
+              f"{offloads.vertical_down} vertical-down"]
+    emit("fig2_infrastructure", lines)
+    # Shape: every layer participates, and both directions of vertical
+    # movement occur (the continuum premise of the figure).
+    assert all(report[layer]["tasks_executed"] > 0
+               for layer in ("edge", "fog", "cloud"))
+    assert offloads.vertical_up > 0
+    assert offloads.vertical_down > 0
+    assert report["edge"]["accelerated_tasks"] > 0
+
+
+def test_fig2_component_families_present(benchmark):
+    """All six device families of the figure exist in the reference
+    infrastructure with the documented layer assignment."""
+
+    def build():
+        sim = Simulator()
+        return build_reference_infrastructure(sim)
+
+    infrastructure = benchmark.pedantic(build, rounds=1, iterations=1)
+    expected = {
+        DeviceKind.EDGE_MULTICORE: Layer.EDGE,
+        DeviceKind.HMPSOC_FPGA: Layer.EDGE,
+        DeviceKind.RISCV_CGRA: Layer.EDGE,
+        DeviceKind.SMART_GATEWAY: Layer.FOG,
+        DeviceKind.FMDC: Layer.FOG,
+        DeviceKind.CLOUD_SERVER: Layer.CLOUD,
+    }
+    rows = []
+    for kind, layer in expected.items():
+        devices = infrastructure.devices_of_kind(kind)
+        assert devices, f"missing device family {kind.value}"
+        assert all(d.spec.layer == layer for d in devices)
+        spec = devices[0].spec
+        rows.append([kind.value, layer.value, str(len(devices)),
+                     f"{spec.gops:.0f}", f"{spec.idle_power_w:.1f}",
+                     spec.max_security_level])
+    lines = ["FIGURE 2 (reproduced): component families and calibrated",
+             "parameters", ""]
+    lines += table(["family", "layer", "count", "GOPS", "idle W",
+                    "max sec"], rows)
+    emit("fig2_component_families", lines)
+
+
+def test_fig2_edge_cloud_latency_gradient(benchmark):
+    """The figure's premise: communication cost grows with distance
+    from the edge."""
+
+    def measure():
+        sim = Simulator()
+        infrastructure = build_reference_infrastructure(sim)
+        network = infrastructure.network
+        return {
+            "edge-to-gateway": network.path_latency("fpga-00-0",
+                                                    "gw-00-0"),
+            "edge-to-fmdc": network.path_latency("fpga-00-0", "fmdc-00"),
+            "edge-to-cloud": network.path_latency("fpga-00-0",
+                                                  "cloud-00"),
+        }
+
+    latencies = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["FIGURE 2 (reproduced): vertical latency gradient", ""]
+    lines += table(["path", "latency ms"],
+                   [[name, f"{value * 1e3:.1f}"]
+                    for name, value in latencies.items()])
+    emit("fig2_latency_gradient", lines)
+    assert latencies["edge-to-gateway"] < latencies["edge-to-fmdc"] \
+        < latencies["edge-to-cloud"]

@@ -1,0 +1,133 @@
+"""Reproduces paper TABLE II: MYRTUS envisioned security levels.
+
+The paper's table prescribes, per level (High/Medium/Low), the concrete
+mechanisms for Encryption, Authentication, Key exchange and Hashing.
+This bench *runs* every cell on real payloads with the from-scratch
+primitive implementations and regenerates the table with measured
+timings and wire sizes appended — the quantitative column the position
+paper could not yet provide.
+
+Expected shape: HIGH (PQC) costs more bytes on the wire than MEDIUM/LOW
+(lattice KEM ciphertexts and signatures are big); LOW's lightweight
+primitives (ASCON) suit constrained devices.
+"""
+
+import time
+
+import pytest
+
+from repro.security import (
+    Identity,
+    SecureChannel,
+    SecurityLevel,
+    SecuritySuite,
+    SUITE_DESCRIPTORS,
+)
+
+from _report import emit, table
+
+PAYLOAD = b'{"telemetry": {"util": 0.42, "latency_ms": 12.5}}' * 8
+
+
+@pytest.fixture(scope="module")
+def identities():
+    alice = Identity("gateway", seed=7)
+    bob = Identity("fpga-node", seed=7)
+    # Force key generation up front so measurements are steady-state.
+    for level in SecurityLevel:
+        SecureChannel.establish(alice, bob, level)
+    return alice, bob
+
+
+def _measure(fn, repeat=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return result, best * 1e3  # ms
+
+
+def build_rows(identities):
+    alice, bob = identities
+    rows = []
+    for level in (SecurityLevel.HIGH, SecurityLevel.MEDIUM,
+                  SecurityLevel.LOW):
+        suite_a = SecuritySuite(level, alice)
+        suite_b = SecuritySuite(level, bob)
+        key = bytes(range(suite_a.session_key_size()))
+        sealed, enc_ms = _measure(
+            lambda: suite_a.encrypt(key, b"\x07" * 16, PAYLOAD))
+        signature, sign_ms = _measure(lambda: suite_a.sign(PAYLOAD))
+        verified = suite_b.verify(alice, PAYLOAD, signature)
+        (secret_ct), kem_ms = _measure(lambda: suite_a.encapsulate(bob))
+        digest, hash_ms = _measure(lambda: suite_a.hash(PAYLOAD))
+        descriptor = SUITE_DESCRIPTORS[level]
+        assert verified, f"{level}: signature must verify"
+        assert suite_b.decapsulate(alice, secret_ct[1]) == secret_ct[0]
+        rows.append([
+            level.value.upper(),
+            descriptor.encryption,
+            f"{enc_ms:.2f}ms/+{len(sealed) - len(PAYLOAD)}B",
+            descriptor.authentication.split(" (")[0],
+            f"{sign_ms:.1f}ms",
+            descriptor.key_exchange.split(" (")[0],
+            f"{kem_ms:.1f}ms/{len(secret_ct[1])}B",
+            descriptor.hashing,
+            f"{hash_ms:.2f}ms/{len(digest)}B",
+        ])
+    return rows
+
+
+def test_table2_regenerated(identities, benchmark):
+    rows = benchmark.pedantic(build_rows, args=(identities,),
+                              rounds=1, iterations=1)
+    lines = ["TABLE II (reproduced): MYRTUS security levels, measured",
+             f"payload: {len(PAYLOAD)} bytes", ""]
+    lines += table(
+        ["Level", "Encryption", "enc", "Authentication", "sign",
+         "Key exchange", "kem/ct", "Hashing", "hash/digest"],
+        rows)
+    emit("table2_security_levels", lines)
+    # Shape assertions: PQC level pays in KEM ciphertext size.
+    high_ct = int(rows[0][6].split("/")[1].rstrip("B"))
+    medium_ct = int(rows[1][6].split("/")[1].rstrip("B"))
+    low_ct = int(rows[2][6].split("/")[1].rstrip("B"))
+    assert high_ct > medium_ct
+    assert high_ct > low_ct
+
+
+def test_handshake_costs_scale_with_level(identities, benchmark):
+    alice, bob = identities
+
+    def handshakes():
+        sizes = {}
+        for level in SecurityLevel:
+            channel, _ = SecureChannel.establish(alice, bob, level)
+            sizes[level.value] = channel.transcript.total_bytes
+        return sizes
+
+    sizes = benchmark.pedantic(handshakes, rounds=1, iterations=1)
+    lines = ["Handshake bytes per security level (KEM ct + signature):",
+             ""]
+    lines += table(["level", "handshake bytes"],
+                   [[name, str(size)] for name, size in sizes.items()])
+    emit("table2_handshake_sizes", lines)
+    assert sizes["high"] > sizes["medium"] > 0
+    assert sizes["high"] > sizes["low"] > 0
+
+
+def test_lightweight_level_fastest_symmetric(identities, benchmark):
+    """LOW is built for constrained devices: per-byte AEAD cost must be
+    competitive (ASCON here is pure Python, so we assert it functions
+    and report relative numbers rather than absolute wins)."""
+    alice, _ = identities
+    suite = SecuritySuite(SecurityLevel.LOW, alice)
+    key = bytes(16)
+
+    def seal():
+        return suite.encrypt(key, b"\x01" * 16, PAYLOAD)
+
+    sealed = benchmark(seal)
+    assert len(sealed) == len(PAYLOAD) + 16  # 16-byte ASCON tag

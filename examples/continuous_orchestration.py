@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Execution-time orchestration demo (paper Sec. IV).
+
+MIRTO orchestrates "both at deployment time ... and at execution time
+(while tasks are already running)". A streaming pipeline runs
+periodically; halfway through, a noisy co-tenant saturates the device
+hosting the heavy inference stage. Watch the adaptive deployment detect
+the drift from the backlog signal, migrate the stage, and recover —
+while a static deployment keeps suffering.
+
+Run:  python examples/continuous_orchestration.py
+"""
+
+from repro.continuum import Simulator, build_reference_infrastructure
+from repro.continuum.workload import Application, KernelClass, Task
+from repro.mirto import (
+    ContinuousDeployment,
+    MigrationPolicy,
+    run_with_interference,
+)
+from repro.mirto.placement import PlacementConstraints
+
+
+def streaming_app() -> Application:
+    app = Application("video-stream")
+    app.add_task(Task("grab", 100, input_bytes=100_000))
+    app.add_task(Task("infer", 2500, kernel=KernelClass.DSP))
+    app.add_task(Task("emit", 150))
+    app.connect("grab", "infer", 100_000)
+    app.connect("infer", "emit", 5_000)
+    return app
+
+
+def run_mode(adaptive: bool):
+    infrastructure = build_reference_infrastructure(Simulator())
+    deployment = ContinuousDeployment(
+        streaming_app(), infrastructure,
+        constraints=PlacementConstraints(source_device="mc-00-0"),
+        policy=MigrationPolicy(
+            improvement_threshold=0.15 if adaptive else 10.0))
+    victim = deployment.placement.device_of("infer")
+    records = run_with_interference(
+        deployment, periods=8, interfere_at=2,
+        interference_device=victim,
+        interference_megaops=8000, interference_tasks=16)
+    return deployment, records, victim
+
+
+def main() -> None:
+    adaptive, adaptive_records, victim = run_mode(adaptive=True)
+    static, static_records, _ = run_mode(adaptive=False)
+    print(f"heavy stage initially on: {victim}")
+    print(f"co-tenant interference starts at period 2\n")
+    print(f"{'period':<8}{'static ms':>12}{'adaptive ms':>13}  note")
+    for period in range(len(adaptive_records)):
+        note = ""
+        if adaptive_records[period].migrated:
+            new_home = adaptive_records[period].placement["infer"]
+            note = f"<- migrated infer to {new_home}"
+        print(f"{period:<8}"
+              f"{static_records[period].makespan_s * 1e3:>12.0f}"
+              f"{adaptive_records[period].makespan_s * 1e3:>13.0f}"
+              f"  {note}")
+    print(f"\npost-interference mean (last 4 periods): "
+          f"static {static.mean_makespan(4) * 1e3:.0f} ms, "
+          f"adaptive {adaptive.mean_makespan(4) * 1e3:.0f} ms "
+          f"({static.mean_makespan(4) / adaptive.mean_makespan(4):.0f}x "
+          f"better)")
+
+
+if __name__ == "__main__":
+    main()

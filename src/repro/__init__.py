@@ -1,0 +1,15 @@
+"""MYRTUS cognitive computing continuum — full simulated reproduction.
+
+A from-scratch Python instantiation of the MYRTUS (DATE 2025) project
+architecture: a layered edge-fog-cloud continuum infrastructure
+(:mod:`repro.continuum`, :mod:`repro.net`, :mod:`repro.kube`,
+:mod:`repro.kb`, :mod:`repro.security`, :mod:`repro.monitoring`),
+the MIRTO cognitive orchestration engine (:mod:`repro.mirto`), and the
+Design & Programming Environment (:mod:`repro.dpe`, :mod:`repro.tosca`),
+assessed on the paper's two use cases (:mod:`repro.usecases`).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+table/figure reproduction index.
+"""
+
+__version__ = "1.0.0"

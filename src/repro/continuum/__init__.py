@@ -1,0 +1,91 @@
+"""Pillar 1 substrate: discrete-event simulator, devices, infrastructure.
+
+The continuum package provides the execution fabric everything else runs
+on: a from-scratch DES kernel (:mod:`repro.continuum.simulator`),
+calibrated device models for each component family in the paper's
+Figure 2 (:mod:`repro.continuum.devices`), the workload/task model
+(:mod:`repro.continuum.workload`) and the layered infrastructure builder
+(:mod:`repro.continuum.infrastructure`).
+"""
+
+from repro.continuum.simulator import (
+    Simulator,
+    Event,
+    Process,
+    Timeout,
+    Resource,
+    Store,
+    Interrupt,
+    SimulationError,
+)
+from repro.continuum.devices import (
+    Device,
+    DeviceKind,
+    DeviceSpec,
+    Layer,
+    OperatingPoint,
+    DEFAULT_OPERATING_POINTS,
+    SPEC_CATALOGUE,
+    TaskRecord,
+    PerformanceCounters,
+    make_device,
+)
+from repro.continuum.workload import (
+    Application,
+    ArrivalEvent,
+    KernelClass,
+    PoissonArrivals,
+    PrivacyClass,
+    Task,
+    TaskRequirements,
+)
+from repro.continuum.infrastructure import (
+    Infrastructure,
+    OffloadStats,
+    build_reference_infrastructure,
+)
+from repro.continuum.gateway import DeliveryRecord, Endpoint, GatewayHub
+from repro.continuum.endpoints import (
+    ActuationRecord,
+    ActuatorProcess,
+    SensorProcess,
+    SensorReading,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Store",
+    "Interrupt",
+    "SimulationError",
+    "Device",
+    "DeviceKind",
+    "DeviceSpec",
+    "Layer",
+    "OperatingPoint",
+    "DEFAULT_OPERATING_POINTS",
+    "SPEC_CATALOGUE",
+    "TaskRecord",
+    "PerformanceCounters",
+    "make_device",
+    "Application",
+    "ArrivalEvent",
+    "KernelClass",
+    "PoissonArrivals",
+    "PrivacyClass",
+    "Task",
+    "TaskRequirements",
+    "Infrastructure",
+    "OffloadStats",
+    "build_reference_infrastructure",
+    "DeliveryRecord",
+    "Endpoint",
+    "GatewayHub",
+    "ActuationRecord",
+    "ActuatorProcess",
+    "SensorProcess",
+    "SensorReading",
+]

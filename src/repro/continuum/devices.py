@@ -1,0 +1,436 @@
+"""Device models for the layered continuum.
+
+Each device class from the paper's Figure 2 is modelled with calibrated
+performance and power parameters:
+
+* edge: commercial multicores, HMPSoC FPGA accelerators, adaptive RISC-V
+  processors with CGRA overlays;
+* fog: smart gateways and Fog Micro Data Centers (FMDCs);
+* cloud: data-center servers.
+
+A device executes :class:`~repro.continuum.workload.Task`s. Execution time
+follows a roofline-style model: compute time from megaops and effective
+throughput, data time from the device's local I/O bandwidth. Energy
+integrates idle plus dynamic power. FPGA-class devices expose performance
+monitoring counters (PMCs) and switch between operating points, which is
+what the MIRTO Node Manager adapts at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import CapacityError, ConfigurationError, NotFoundError
+from repro.continuum.simulator import Resource, Simulator
+from repro.continuum.workload import KernelClass, Task
+
+
+class Layer(str, Enum):
+    """Continuum layer a component belongs to (paper Fig. 2)."""
+
+    EDGE = "edge"
+    FOG = "fog"
+    CLOUD = "cloud"
+
+
+class DeviceKind(str, Enum):
+    """Concrete device family."""
+
+    EDGE_MULTICORE = "edge_multicore"
+    HMPSOC_FPGA = "hmpsoc_fpga"
+    RISCV_CGRA = "riscv_cgra"
+    SMART_GATEWAY = "smart_gateway"
+    FMDC = "fmdc"
+    CLOUD_SERVER = "cloud_server"
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A DVFS-style configuration the Node Manager can select.
+
+    ``perf_scale`` multiplies compute throughput; ``power_scale``
+    multiplies dynamic power. Exported by the DPE's DSE step as
+    deployment meta-information (paper refs [29], [30]).
+    """
+
+    name: str
+    perf_scale: float
+    power_scale: float
+
+    def __post_init__(self):
+        if self.perf_scale <= 0 or self.power_scale <= 0:
+            raise ConfigurationError(
+                f"operating point {self.name}: scales must be positive"
+            )
+
+
+DEFAULT_OPERATING_POINTS = (
+    OperatingPoint("low-power", perf_scale=0.5, power_scale=0.35),
+    OperatingPoint("balanced", perf_scale=1.0, power_scale=1.0),
+    OperatingPoint("performance", perf_scale=1.4, power_scale=1.9),
+)
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static capability sheet for a device.
+
+    Parameters are deliberately simple and dimensionally explicit:
+    ``gops`` is peak giga-operations per second across all cores,
+    ``io_bw_bps`` local data movement bandwidth, powers in watts.
+    ``accel_kernels`` maps kernel classes to speed-up factors available
+    on this device (e.g. FPGA fabric gives DSP kernels 8x).
+    """
+
+    kind: DeviceKind
+    layer: Layer
+    cores: int
+    gops: float
+    memory_bytes: int
+    io_bw_bps: float
+    idle_power_w: float
+    busy_power_w: float
+    accel_kernels: dict[KernelClass, float] = field(default_factory=dict)
+    max_security_level: str = "high"
+    reconfig_regions: int = 0
+    reconfig_time_s: float = 0.0
+
+    def __post_init__(self):
+        if self.cores < 1:
+            raise ConfigurationError("device needs at least one core")
+        if self.gops <= 0 or self.io_bw_bps <= 0:
+            raise ConfigurationError("throughput parameters must be positive")
+        if self.busy_power_w < self.idle_power_w:
+            raise ConfigurationError("busy power below idle power")
+
+
+# Calibrated catalogue. Magnitudes follow public datasheets for the device
+# classes the paper names (Zynq-class HMPSoC, microcontroller-class RISC-V
+# with CGRA overlay, ARM edge multicore, FMDC rack node, cloud server).
+SPEC_CATALOGUE: dict[DeviceKind, DeviceSpec] = {
+    DeviceKind.EDGE_MULTICORE: DeviceSpec(
+        kind=DeviceKind.EDGE_MULTICORE,
+        layer=Layer.EDGE,
+        cores=4,
+        gops=8.0,
+        memory_bytes=4 * 1024**3,
+        io_bw_bps=2e9,
+        idle_power_w=2.0,
+        busy_power_w=7.0,
+        max_security_level="medium",
+    ),
+    DeviceKind.HMPSOC_FPGA: DeviceSpec(
+        kind=DeviceKind.HMPSOC_FPGA,
+        layer=Layer.EDGE,
+        cores=2,
+        gops=4.0,
+        memory_bytes=2 * 1024**3,
+        io_bw_bps=1.5e9,
+        idle_power_w=2.5,
+        busy_power_w=9.0,
+        accel_kernels={KernelClass.DSP: 8.0, KernelClass.NEURAL: 6.0,
+                       KernelClass.CRYPTO: 10.0},
+        max_security_level="high",
+        reconfig_regions=2,
+        reconfig_time_s=0.004,
+    ),
+    DeviceKind.RISCV_CGRA: DeviceSpec(
+        kind=DeviceKind.RISCV_CGRA,
+        layer=Layer.EDGE,
+        cores=1,
+        gops=1.2,
+        memory_bytes=512 * 1024**2,
+        io_bw_bps=0.5e9,
+        idle_power_w=0.3,
+        busy_power_w=1.5,
+        accel_kernels={KernelClass.DSP: 5.0, KernelClass.NEURAL: 4.0},
+        max_security_level="low",
+        reconfig_regions=1,
+        reconfig_time_s=0.001,
+    ),
+    DeviceKind.SMART_GATEWAY: DeviceSpec(
+        kind=DeviceKind.SMART_GATEWAY,
+        layer=Layer.FOG,
+        cores=4,
+        gops=12.0,
+        memory_bytes=8 * 1024**3,
+        io_bw_bps=4e9,
+        idle_power_w=5.0,
+        busy_power_w=15.0,
+        max_security_level="medium",
+    ),
+    DeviceKind.FMDC: DeviceSpec(
+        kind=DeviceKind.FMDC,
+        layer=Layer.FOG,
+        cores=32,
+        gops=180.0,
+        memory_bytes=128 * 1024**3,
+        io_bw_bps=20e9,
+        idle_power_w=90.0,
+        busy_power_w=350.0,
+        accel_kernels={KernelClass.ANALYTICS: 3.0, KernelClass.NEURAL: 4.0},
+        max_security_level="high",
+    ),
+    DeviceKind.CLOUD_SERVER: DeviceSpec(
+        kind=DeviceKind.CLOUD_SERVER,
+        layer=Layer.CLOUD,
+        cores=64,
+        gops=900.0,
+        memory_bytes=512 * 1024**3,
+        io_bw_bps=50e9,
+        idle_power_w=180.0,
+        busy_power_w=700.0,
+        accel_kernels={KernelClass.NEURAL: 12.0, KernelClass.ANALYTICS: 6.0},
+        max_security_level="high",
+    ),
+}
+
+
+@dataclass
+class TaskRecord:
+    """Completion record for one executed task."""
+
+    task_name: str
+    device_name: str
+    start_s: float
+    end_s: float
+    energy_j: float
+    accelerated: bool
+    operating_point: str
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class PerformanceCounters:
+    """Performance monitoring counters, as instrumented on the FPGA edge
+    devices (paper Sec. III, Monitoring and Observability)."""
+
+    def __init__(self):
+        self.tasks_executed = 0
+        self.accelerated_tasks = 0
+        self.busy_time_s = 0.0
+        self.energy_j = 0.0
+        self.bytes_moved = 0
+        self.reconfigurations = 0
+
+    def snapshot(self) -> dict[str, float]:
+        """Return counter values as a plain dict for telemetry export."""
+        return {
+            "tasks_executed": self.tasks_executed,
+            "accelerated_tasks": self.accelerated_tasks,
+            "busy_time_s": self.busy_time_s,
+            "energy_j": self.energy_j,
+            "bytes_moved": self.bytes_moved,
+            "reconfigurations": self.reconfigurations,
+        }
+
+
+class Device:
+    """A simulated computing component executing tasks under a DES.
+
+    Tasks contend for the device's cores (a :class:`Resource`); execution
+    time and energy follow the spec plus the active operating point.
+    """
+
+    def __init__(self, sim: Simulator, name: str, spec: DeviceSpec,
+                 operating_points: tuple[OperatingPoint, ...] | None = None):
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        self.cores = Resource(sim, capacity=spec.cores)
+        self.pmc = PerformanceCounters()
+        self.records: list[TaskRecord] = []
+        self.operating_points = {
+            op.name: op for op in (operating_points or DEFAULT_OPERATING_POINTS)
+        }
+        self._active_op = self.operating_points.get(
+            "balanced", next(iter(self.operating_points.values()))
+        )
+        self._memory_used = 0
+        self._loaded_bitstreams: list[str] = []
+        self._start_time = sim.now
+        #: Compute admitted but not yet finished, in megaops — the
+        #: backlog signal load-aware placement estimates consult.
+        self.pending_megaops = 0.0
+        #: Set by fault injection; failed devices reject new work.
+        self.failed = False
+
+    # -- operating points ---------------------------------------------------
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """Currently active operating point."""
+        return self._active_op
+
+    def set_operating_point(self, name: str) -> OperatingPoint:
+        """Switch the device to operating point *name*."""
+        if name not in self.operating_points:
+            raise NotFoundError(
+                f"device {self.name}: unknown operating point {name!r}"
+            )
+        self._active_op = self.operating_points[name]
+        return self._active_op
+
+    # -- capacity accounting --------------------------------------------------
+
+    @property
+    def memory_free(self) -> int:
+        """Bytes of memory not currently reserved by running tasks."""
+        return self.spec.memory_bytes - self._memory_used
+
+    def can_fit(self, task: Task) -> bool:
+        """True when the task's memory footprint fits right now."""
+        return task.memory_bytes <= self.memory_free
+
+    # -- performance model ------------------------------------------------------
+
+    def speedup_for(self, task: Task) -> float:
+        """Accelerator speed-up this device offers the task's kernel."""
+        return self.spec.accel_kernels.get(task.kernel, 1.0)
+
+    def backlog_seconds(self) -> float:
+        """Rough time to drain currently admitted work (all cores,
+        active operating point, no accelerator assumption)."""
+        effective_gops = self.spec.gops * self._active_op.perf_scale
+        return (self.pending_megaops / 1e3) / effective_gops
+
+    def estimate_duration(self, task: Task,
+                          operating_point: str | None = None) -> float:
+        """Predicted wall time for *task* on an otherwise idle device."""
+        op = (self.operating_points[operating_point]
+              if operating_point else self._active_op)
+        per_core_gops = self.spec.gops / self.spec.cores
+        effective_gops = per_core_gops * op.perf_scale * self.speedup_for(task)
+        compute_s = (task.megaops / 1e3) / effective_gops
+        data_s = (task.input_bytes + task.output_bytes) / self.spec.io_bw_bps
+        return compute_s + data_s
+
+    def estimate_energy(self, task: Task,
+                        operating_point: str | None = None) -> float:
+        """Predicted *dynamic* energy for running *task* here.
+
+        Idle power is charged device-wide over elapsed time by
+        :meth:`total_energy`; charging a per-task idle share here would
+        double-count it and make DVFS-style low-power points look
+        useless (the race-to-idle fallacy).
+        """
+        op = (self.operating_points[operating_point]
+              if operating_point else self._active_op)
+        duration = self.estimate_duration(task, operating_point)
+        dynamic_w = (self.spec.busy_power_w - self.spec.idle_power_w)
+        dynamic_w = dynamic_w * op.power_scale / self.spec.cores
+        return duration * dynamic_w
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, task: Task):
+        """DES process: run *task* to completion on this device.
+
+        Yields simulator events; the process's value is the
+        :class:`TaskRecord`. Raises :class:`CapacityError` immediately if
+        the task can never fit in this device's memory.
+        """
+        if self.failed:
+            raise CapacityError(
+                f"device {self.name} has failed; cannot admit "
+                f"{task.name}")
+        if task.memory_bytes > self.spec.memory_bytes:
+            raise CapacityError(
+                f"task {task.name} needs {task.memory_bytes} B, device "
+                f"{self.name} has {self.spec.memory_bytes} B"
+            )
+        self.pending_megaops += task.megaops
+        grant = self.cores.request()
+        yield grant
+        while not self.can_fit(task):
+            # Memory pressure: wait a scheduling quantum and re-check.
+            yield self.sim.timeout(0.001)
+        self._memory_used += task.memory_bytes
+        op = self._active_op
+        start = self.sim.now
+        duration = self.estimate_duration(task)
+        energy = self.estimate_energy(task)
+        accelerated = self.speedup_for(task) > 1.0
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self._memory_used -= task.memory_bytes
+            self.pending_megaops -= task.megaops
+            self.cores.release(grant)
+        record = TaskRecord(
+            task_name=task.name,
+            device_name=self.name,
+            start_s=start,
+            end_s=self.sim.now,
+            energy_j=energy,
+            accelerated=accelerated,
+            operating_point=op.name,
+        )
+        self.records.append(record)
+        self.pmc.tasks_executed += 1
+        self.pmc.accelerated_tasks += int(accelerated)
+        self.pmc.busy_time_s += record.duration_s
+        self.pmc.energy_j += energy
+        self.pmc.bytes_moved += task.input_bytes + task.output_bytes
+        return record
+
+    def reconfigure(self, bitstream: str):
+        """DES process: load a bitstream into a reconfigurable region.
+
+        Only meaningful on devices with ``reconfig_regions > 0`` (HMPSoC
+        FPGA, RISC-V CGRA). Evicts the oldest bitstream when full.
+        """
+        if self.spec.reconfig_regions == 0:
+            raise ConfigurationError(
+                f"device {self.name} ({self.spec.kind.value}) is not "
+                "reconfigurable"
+            )
+        yield self.sim.timeout(self.spec.reconfig_time_s)
+        if bitstream not in self._loaded_bitstreams:
+            self._loaded_bitstreams.append(bitstream)
+            while len(self._loaded_bitstreams) > self.spec.reconfig_regions:
+                self._loaded_bitstreams.pop(0)
+        self.pmc.reconfigurations += 1
+        return bitstream
+
+    @property
+    def loaded_bitstreams(self) -> tuple[str, ...]:
+        """Bitstreams currently resident in reconfigurable regions."""
+        return tuple(self._loaded_bitstreams)
+
+    # -- telemetry --------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of core-time spent busy since device creation."""
+        elapsed = self.sim.now - self._start_time
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.pmc.busy_time_s / (elapsed * self.spec.cores))
+
+    def total_energy(self) -> float:
+        """Idle energy since creation plus dynamic energy of tasks."""
+        elapsed = self.sim.now - self._start_time
+        return self.spec.idle_power_w * elapsed + self.pmc.energy_j
+
+    def telemetry(self) -> dict[str, float]:
+        """One telemetry sample in the shape the monitors publish."""
+        return {
+            "utilization": self.utilization(),
+            "memory_free_bytes": float(self.memory_free),
+            "queue_length": float(len(self.cores.queue)),
+            "energy_j": self.total_energy(),
+            **self.pmc.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Device({self.name!r}, {self.spec.kind.value})"
+
+
+def make_device(sim: Simulator, name: str, kind: DeviceKind,
+                operating_points: tuple[OperatingPoint, ...] | None = None,
+                ) -> Device:
+    """Instantiate a device of *kind* from the calibrated catalogue."""
+    return Device(sim, name, SPEC_CATALOGUE[kind], operating_points)

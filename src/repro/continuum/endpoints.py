@@ -1,0 +1,133 @@
+"""Extreme-edge endpoints: sensors and actuators behind the gateway.
+
+Fig. 2 roots the continuum in "a diversity of actors at the edge (e.g.,
+sensors, actuators, HW accelerators, etc.)". A :class:`SensorProcess`
+periodically samples a reading generator and publishes through the
+:class:`~repro.continuum.gateway.GatewayHub` (paying real protocol and
+network costs); an :class:`ActuatorProcess` consumes command messages
+and tracks actuation latency — the full sense-decide-actuate loop the
+use cases close over the continuum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import ConfigurationError
+from repro.continuum.gateway import GatewayHub
+from repro.continuum.simulator import Simulator, Store
+
+
+@dataclass
+class SensorReading:
+    """One published sample."""
+
+    sensor: str
+    sequence: int
+    time_s: float
+    payload: dict[str, Any]
+
+
+class SensorProcess:
+    """Periodic sensor publishing via the gateway hub.
+
+    ``sample_fn(sequence)`` produces the payload dict; publication pays
+    the sensor's protocol and link costs. Stops after ``max_samples``
+    or when :meth:`stop` is called.
+    """
+
+    def __init__(self, sim: Simulator, hub: GatewayHub, name: str,
+                 destination: str, topic: str,
+                 sample_fn: Callable[[int], dict[str, Any]],
+                 period_s: float, max_samples: int | None = None):
+        if period_s <= 0:
+            raise ConfigurationError("sensor period must be positive")
+        self.sim = sim
+        self.hub = hub
+        self.name = name
+        self.destination = destination
+        self.topic = topic
+        self.sample_fn = sample_fn
+        self.period_s = period_s
+        self.max_samples = max_samples
+        self.readings: list[SensorReading] = []
+        self._running = True
+        self.process = sim.process(self._run(), name=f"sensor-{name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self):
+        sequence = 0
+        while self._running:
+            if self.max_samples is not None \
+                    and sequence >= self.max_samples:
+                return sequence
+            payload = self.sample_fn(sequence)
+            reading = SensorReading(
+                sensor=self.name, sequence=sequence,
+                time_s=self.sim.now, payload=payload)
+            self.readings.append(reading)
+            yield self.sim.process(self.hub.exchange(
+                self.name, self.destination, self.topic,
+                {**payload, "seq": sequence}))
+            sequence += 1
+            yield self.sim.timeout(self.period_s)
+        return sequence
+
+
+@dataclass
+class ActuationRecord:
+    """One executed command with its end-to-end latency."""
+
+    sequence: int
+    issued_at_s: float
+    executed_at_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.executed_at_s - self.issued_at_s
+
+
+class ActuatorProcess:
+    """Consumes commands from a queue and 'actuates' after a fixed
+    mechanical delay, recording end-to-end latency."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 actuation_delay_s: float = 0.005):
+        if actuation_delay_s < 0:
+            raise ConfigurationError("actuation delay must be >= 0")
+        self.sim = sim
+        self.name = name
+        self.actuation_delay_s = actuation_delay_s
+        self.queue = Store(sim)
+        self.records: list[ActuationRecord] = []
+        self._running = True
+        self.process = sim.process(self._run(), name=f"actuator-{name}")
+
+    def command(self, sequence: int, issued_at_s: float):
+        """Enqueue a command (an event; yield it to await acceptance)."""
+        return self.queue.put((sequence, issued_at_s))
+
+    def stop(self) -> None:
+        self._running = False
+        # Unblock the consumer with a poison pill.
+        self.queue.put(None)
+
+    def _run(self):
+        while self._running:
+            item = yield self.queue.get()
+            if item is None:
+                return len(self.records)
+            sequence, issued_at = item
+            yield self.sim.timeout(self.actuation_delay_s)
+            self.records.append(ActuationRecord(
+                sequence=sequence, issued_at_s=issued_at,
+                executed_at_s=self.sim.now))
+        return len(self.records)
+
+    def mean_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.latency_s for r in self.records) / len(self.records)

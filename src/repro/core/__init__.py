@@ -1,0 +1,70 @@
+"""Shared kernel for the MYRTUS reproduction.
+
+This package hosts the small, dependency-free utilities every other
+subpackage builds on: the exception hierarchy, deterministic identifier
+generation, unit helpers, seeded random-number management and a simple
+publish/subscribe event bus.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    ConfigurationError,
+    ValidationError,
+    CapacityError,
+    NotFoundError,
+    SecurityError,
+    OrchestrationError,
+    CompilationError,
+    ConsensusError,
+)
+from repro.core.ids import IdGenerator, qualified_name
+from repro.core.rng import RngRegistry, derive_seed
+from repro.core.events import EventBus, Subscription
+from repro.core.units import (
+    Bytes,
+    KIB,
+    MIB,
+    GIB,
+    MS,
+    US,
+    SEC,
+    MINUTE,
+    JOULE,
+    MILLIJOULE,
+    WATT,
+    format_bytes,
+    format_duration,
+    format_energy,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ValidationError",
+    "CapacityError",
+    "NotFoundError",
+    "SecurityError",
+    "OrchestrationError",
+    "CompilationError",
+    "ConsensusError",
+    "IdGenerator",
+    "qualified_name",
+    "RngRegistry",
+    "derive_seed",
+    "EventBus",
+    "Subscription",
+    "Bytes",
+    "KIB",
+    "MIB",
+    "GIB",
+    "MS",
+    "US",
+    "SEC",
+    "MINUTE",
+    "JOULE",
+    "MILLIJOULE",
+    "WATT",
+    "format_bytes",
+    "format_duration",
+    "format_energy",
+]

@@ -1,0 +1,59 @@
+"""Exception hierarchy shared by all MYRTUS reproduction subsystems.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class ValidationError(ReproError):
+    """A user-supplied model or document failed validation.
+
+    Collects individual problem strings so callers can report every issue
+    at once instead of fixing them one at a time.
+    """
+
+    def __init__(self, message: str, problems: list[str] | None = None):
+        super().__init__(message)
+        self.problems: list[str] = list(problems or [])
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        base = super().__str__()
+        if not self.problems:
+            return base
+        details = "; ".join(self.problems)
+        return f"{base}: {details}"
+
+
+class CapacityError(ReproError):
+    """A resource request exceeded the capacity of the target component."""
+
+
+class NotFoundError(ReproError):
+    """A referenced entity (node, key, template, ...) does not exist."""
+
+
+class SecurityError(ReproError):
+    """Authentication, authorization or cryptographic failure."""
+
+
+class OrchestrationError(ReproError):
+    """The orchestrator could not produce or execute a valid placement."""
+
+
+class CompilationError(ReproError):
+    """The DPE failed to compile a model into a deployable artifact."""
+
+
+class ConsensusError(ReproError):
+    """The distributed knowledge base could not reach consensus."""

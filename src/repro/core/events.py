@@ -1,0 +1,81 @@
+"""In-process publish/subscribe event bus.
+
+Used for loose coupling between subsystems: monitors publish telemetry,
+MIRTO agents subscribe to triggers, the kube control plane publishes
+object-change notifications. Topics are dotted names and subscriptions may
+use a trailing ``*`` wildcard segment (``metrics.edge.*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; use to unsubscribe."""
+
+    pattern: str
+    handler: Handler
+    active: bool = True
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Return True when dotted *topic* matches *pattern*.
+
+    A pattern segment of ``*`` matches exactly one topic segment; a
+    trailing ``**`` matches any remaining segments (including none).
+    """
+    pat_parts = pattern.split(".")
+    top_parts = topic.split(".")
+    for i, pat in enumerate(pat_parts):
+        if pat == "**":
+            return True
+        if i >= len(top_parts):
+            return False
+        if pat != "*" and pat != top_parts[i]:
+            return False
+    return len(pat_parts) == len(top_parts)
+
+
+@dataclass
+class EventBus:
+    """Synchronous topic-based event dispatcher."""
+
+    _subs: list[Subscription] = field(default_factory=list)
+    _delivered: int = 0
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Register *handler* for topics matching *pattern*."""
+        sub = Subscription(pattern=pattern, handler=handler)
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Deactivate a subscription; it will receive no further events."""
+        sub.active = False
+        if sub in self._subs:
+            self._subs.remove(sub)
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Deliver *payload* to all matching subscribers.
+
+        Returns the number of handlers invoked. Handlers run synchronously
+        in subscription order; a handler added during delivery only sees
+        later events.
+        """
+        delivered = 0
+        for sub in list(self._subs):
+            if sub.active and topic_matches(sub.pattern, topic):
+                sub.handler(topic, payload)
+                delivered += 1
+        self._delivered += delivered
+        return delivered
+
+    @property
+    def total_delivered(self) -> int:
+        """Total number of handler invocations since construction."""
+        return self._delivered

@@ -1,0 +1,55 @@
+"""Deterministic identifier generation.
+
+Simulation runs must be reproducible, so identifiers are sequential per
+prefix rather than random UUIDs. ``IdGenerator`` hands out ids such as
+``node-0001``; ``qualified_name`` builds hierarchical dotted names.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Hands out deterministic, monotonically increasing identifiers.
+
+    Each prefix has its own counter, so ``gen.next("pod")`` and
+    ``gen.next("node")`` advance independently.
+    """
+
+    def __init__(self, width: int = 4):
+        if width < 1:
+            raise ValueError("id width must be >= 1")
+        self._width = width
+        self._counters: dict[str, int] = defaultdict(int)
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for *prefix*, e.g. ``pod-0007``."""
+        if not prefix:
+            raise ValueError("prefix must be non-empty")
+        value = self._counters[prefix]
+        self._counters[prefix] = value + 1
+        return f"{prefix}-{value:0{self._width}d}"
+
+    def peek(self, prefix: str) -> int:
+        """Return the counter value that the next id for *prefix* will use."""
+        return self._counters[prefix]
+
+    def reset(self, prefix: str | None = None) -> None:
+        """Reset one prefix counter, or all counters when *prefix* is None."""
+        if prefix is None:
+            self._counters.clear()
+        else:
+            self._counters.pop(prefix, None)
+
+
+def qualified_name(*parts: str) -> str:
+    """Join non-empty name segments into a dotted hierarchical name.
+
+    >>> qualified_name("edge", "hmpsoc-0001", "pmc")
+    'edge.hmpsoc-0001.pmc'
+    """
+    cleaned = [p for p in parts if p]
+    if not cleaned:
+        raise ValueError("at least one non-empty name part is required")
+    return ".".join(cleaned)

@@ -1,0 +1,56 @@
+"""Unit constants and human-readable formatting.
+
+Internally the simulation uses SI base units throughout: seconds for time,
+bytes for data, joules for energy, watts for power. These constants make
+call sites read naturally (``timeout(5 * MS)``) and the formatters make
+reports readable.
+"""
+
+from __future__ import annotations
+
+Bytes = int
+
+# Data sizes (bytes).
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# Durations (seconds).
+US = 1e-6
+MS = 1e-3
+SEC = 1.0
+MINUTE = 60.0
+
+# Energy (joules) and power (watts).
+JOULE = 1.0
+MILLIJOULE = 1e-3
+WATT = 1.0
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary-prefix unit, e.g. ``1.5 MiB``."""
+    n = float(n)
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration with an appropriate unit, e.g. ``3.20 ms``."""
+    s = float(seconds)
+    if abs(s) >= MINUTE:
+        return f"{s / MINUTE:.2f} min"
+    if abs(s) >= SEC:
+        return f"{s:.2f} s"
+    if abs(s) >= MS:
+        return f"{s / MS:.2f} ms"
+    return f"{s / US:.2f} us"
+
+
+def format_energy(joules: float) -> str:
+    """Render an energy amount, e.g. ``12.4 mJ``."""
+    j = float(joules)
+    if abs(j) >= JOULE:
+        return f"{j:.3f} J"
+    return f"{j / MILLIJOULE:.2f} mJ"

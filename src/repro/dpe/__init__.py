@@ -1,0 +1,73 @@
+"""MYRTUS Design and Programming Environment (technical pillar 3).
+
+The three-step flow of paper Fig. 4: modeling/analysis
+(:mod:`repro.dpe.modeling`, :mod:`repro.dpe.adt`), model-to-
+implementation via the mini-MLIR (:mod:`repro.dpe.mlir`), and
+node-level optimization/deployment (:mod:`repro.dpe.hls`,
+:mod:`repro.dpe.dse`, :mod:`repro.dpe.onnxflow`), plus evolutionary
+swarm-rule synthesis (:mod:`repro.dpe.frevo`).
+"""
+
+from repro.dpe.modeling import (
+    ComponentModel,
+    DEFAULT_PLATFORM,
+    DeploymentSpecification,
+    DesignFlow,
+    KpiEstimate,
+    ScenarioModel,
+    estimate_kpis,
+)
+from repro.dpe.adt import (
+    AttackDefenceTree,
+    AttackNode,
+    COUNTERMEASURE_LIBRARY,
+    Defence,
+    Refinement,
+    SynthesisResult,
+    countermeasure_snippets,
+    synthesize_countermeasures,
+)
+from repro.dpe.dse import (
+    AnnealingExplorer,
+    EvaluationResult,
+    ExhaustiveExplorer,
+    GeneticExplorer,
+    Mapping,
+    MappingEvaluator,
+    PlatformModel,
+    ProcessorModel,
+    export_operating_points,
+    pareto_front,
+)
+from repro.dpe.frevo import EvolutionRecord, RuleEvolver, SwarmRule
+from repro.dpe.hls import (
+    HlsResult,
+    MdcConfiguration,
+    ReconfigurableAccelerator,
+    ResourceEstimate,
+    compose,
+    synthesize,
+)
+from repro.dpe.onnxflow import (
+    NnDeployment,
+    OnnxModel,
+    OnnxNode,
+    import_onnx,
+    lower_to_hardware,
+    reference_mlp,
+)
+
+__all__ = [
+    "ComponentModel", "DEFAULT_PLATFORM", "DeploymentSpecification",
+    "DesignFlow", "KpiEstimate", "ScenarioModel", "estimate_kpis",
+    "AttackDefenceTree", "AttackNode", "COUNTERMEASURE_LIBRARY", "Defence",
+    "Refinement", "SynthesisResult", "countermeasure_snippets",
+    "synthesize_countermeasures", "AnnealingExplorer", "EvaluationResult",
+    "ExhaustiveExplorer", "GeneticExplorer", "Mapping", "MappingEvaluator",
+    "PlatformModel", "ProcessorModel", "export_operating_points",
+    "pareto_front", "EvolutionRecord", "RuleEvolver", "SwarmRule",
+    "HlsResult", "MdcConfiguration", "ReconfigurableAccelerator",
+    "ResourceEstimate", "compose", "synthesize", "NnDeployment",
+    "OnnxModel", "OnnxNode", "import_onnx", "lower_to_hardware",
+    "reference_mlp",
+]

@@ -1,0 +1,366 @@
+"""C code generation: the standard-compiler path of the DPE (Fig. 4).
+
+"The rest of the application is compiled with standard compilers,
+ensuring it can interoperate with the accelerated portions" (paper
+Sec. V). This backend lowers IR functions to portable C99 — scalar arith
+ops to doubles, tensor ops to loops over flattened static-shape arrays,
+base2 fixed-point ops to ``int64_t`` shift arithmetic — and, when a C
+compiler is available, compiles and runs the result to check functional
+equivalence against the reference interpreter (the same correctness
+spine the HLS/CGRA lowerings use).
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import CompilationError
+from repro.dpe.mlir.ir import (
+    Base2Type,
+    Function,
+    Module,
+    Operation,
+    ScalarType,
+    TensorType,
+    Value,
+)
+
+
+def _c_type(type_) -> str:
+    if isinstance(type_, ScalarType):
+        return "int64_t" if type_.is_integer else "double"
+    if isinstance(type_, Base2Type):
+        return "int64_t"
+    if isinstance(type_, TensorType):
+        return _c_type(type_.element)
+    raise CompilationError(f"codegen: unsupported type {type_}")
+
+
+def _is_tensor(type_) -> bool:
+    return isinstance(type_, TensorType)
+
+
+def _elems(type_) -> int:
+    return type_.num_elements if _is_tensor(type_) else 1
+
+
+class CEmitter:
+    """Emits one IR function as a C function.
+
+    Tensor values become fixed-size local arrays; the generated function
+    takes ``const T* argN`` input pointers and ``T* outN`` output
+    pointers so a host harness can drive it.
+    """
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.lines: list[str] = []
+        self._names: dict[int, str] = {}
+
+    def _name(self, value: Value) -> str:
+        if id(value) not in self._names:
+            self._names[id(value)] = f"v{len(self._names)}"
+        return self._names[id(value)]
+
+    def emit(self) -> str:
+        f = self.function
+        params = []
+        for i, arg in enumerate(f.arguments):
+            params.append(f"const {_c_type(arg.type)}* arg{i}")
+        for i, ret in enumerate(f.returns):
+            params.append(f"{_c_type(ret.type)}* out{i}")
+        self.lines = [f"void {f.name}({', '.join(params)}) {{"]
+        for i, arg in enumerate(f.arguments):
+            name = self._name(arg)
+            ctype = _c_type(arg.type)
+            n = _elems(arg.type)
+            self.lines.append(f"  {ctype} {name}[{n}];")
+            self.lines.append(
+                f"  for (int i = 0; i < {n}; i++) "
+                f"{name}[i] = arg{i}[i];")
+        for op in f.ops:
+            self._emit_op(op)
+        for i, ret in enumerate(f.returns):
+            n = _elems(ret.type)
+            self.lines.append(
+                f"  for (int i = 0; i < {n}; i++) "
+                f"out{i}[i] = {self._name(ret)}[i];")
+        self.lines.append("}")
+        return "\n".join(self.lines)
+
+    # -- per-op emission ------------------------------------------------------
+
+    def _declare(self, value: Value) -> str:
+        name = self._name(value)
+        self.lines.append(
+            f"  {_c_type(value.type)} {name}[{_elems(value.type)}];")
+        return name
+
+    def _emit_op(self, op: Operation) -> None:
+        handler = getattr(self, "_op_" + op.name.replace(".", "_"), None)
+        if handler is None:
+            raise CompilationError(f"codegen: unsupported op {op.name}")
+        handler(op)
+
+    def _emit_elementwise(self, op: Operation, expr: str) -> None:
+        out = self._declare(op.results[0])
+        names = [self._name(v) for v in op.operands]
+        n = _elems(op.results[0].type)
+        body = expr.format(*(f"{name}[i]" for name in names))
+        self.lines.append(
+            f"  for (int i = 0; i < {n}; i++) {out}[i] = {body};")
+
+    def _op_arith_constant(self, op):
+        out = self._declare(op.results[0])
+        value = op.attributes["value"]
+        if isinstance(value, bool):
+            literal = "1" if value else "0"
+        elif isinstance(value, int):
+            literal = f"INT64_C({value})"
+        else:
+            literal = repr(float(value))
+        self.lines.append(f"  {out}[0] = {literal};")
+
+    def _op_tensor_constant(self, op):
+        out = self._declare(op.results[0])
+        array = np.asarray(op.attributes["value"],
+                           dtype=np.float64).ravel()
+        chunks = ", ".join(repr(float(x)) for x in array)
+        ctype = _c_type(op.results[0].type)
+        self.lines.append(
+            f"  static const {ctype} {out}_init[{len(array)}] = "
+            f"{{{chunks}}};")
+        self.lines.append(
+            f"  for (int i = 0; i < {len(array)}; i++) "
+            f"{out}[i] = {out}_init[i];")
+
+    # scalar/elementwise arithmetic ------------------------------------------------
+
+    def _op_arith_addf(self, op):
+        self._emit_elementwise(op, "{0} + {1}")
+
+    _op_arith_addi = _op_arith_addf
+
+    def _op_arith_subf(self, op):
+        self._emit_elementwise(op, "{0} - {1}")
+
+    _op_arith_subi = _op_arith_subf
+
+    def _op_arith_mulf(self, op):
+        self._emit_elementwise(op, "{0} * {1}")
+
+    _op_arith_muli = _op_arith_mulf
+
+    def _op_arith_divf(self, op):
+        self._emit_elementwise(op, "{0} / {1}")
+
+    def _op_arith_maxf(self, op):
+        self._emit_elementwise(op, "({0} > {1}) ? {0} : {1}")
+
+    def _op_arith_minf(self, op):
+        self._emit_elementwise(op, "({0} < {1}) ? {0} : {1}")
+
+    def _op_arith_cmp(self, op):
+        cmp = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+               "gt": ">", "ge": ">="}[op.attributes["predicate"]]
+        self._emit_elementwise(op, f"({{0}} {cmp} {{1}}) ? 1 : 0")
+
+    def _op_arith_select(self, op):
+        self._emit_elementwise(op, "{0} ? {1} : {2}")
+
+    def _op_tensor_add(self, op):
+        self._emit_elementwise(op, "{0} + {1}")
+
+    def _op_tensor_mul(self, op):
+        self._emit_elementwise(op, "{0} * {1}")
+
+    def _op_tensor_relu(self, op):
+        self._emit_elementwise(op, "({0} > 0.0) ? {0} : 0.0")
+
+    def _op_tensor_reshape(self, op):
+        self._emit_elementwise(op, "{0}")
+
+    def _op_tensor_matmul(self, op):
+        out = self._declare(op.results[0])
+        a, b = (self._name(v) for v in op.operands)
+        (m, k) = op.operands[0].type.shape
+        n = op.operands[1].type.shape[1]
+        self.lines += [
+            f"  for (int r = 0; r < {m}; r++)",
+            f"    for (int c = 0; c < {n}; c++) {{",
+            f"      double acc = 0.0;",
+            f"      for (int t = 0; t < {k}; t++)",
+            f"        acc += {a}[r * {k} + t] * {b}[t * {n} + c];",
+            f"      {out}[r * {n} + c] = acc;",
+            f"    }}",
+        ]
+
+    # base2 fixed point ---------------------------------------------------------------
+
+    @staticmethod
+    def _fx(type_) -> Base2Type:
+        element = type_.element if _is_tensor(type_) else type_
+        if not isinstance(element, Base2Type):
+            raise CompilationError("expected a base2 type")
+        return element
+
+    def _clamp(self, fx: Base2Type, expr: str) -> str:
+        lo = round(fx.min_value / fx.scale)
+        hi = round(fx.max_value / fx.scale)
+        return (f"(({expr}) < INT64_C({lo}) ? INT64_C({lo}) : "
+                f"(({expr}) > INT64_C({hi}) ? INT64_C({hi}) : ({expr})))")
+
+    def _op_base2_quantize(self, op):
+        fx = self._fx(op.results[0].type)
+        out = self._declare(op.results[0])
+        src = self._name(op.operands[0])
+        n = _elems(op.results[0].type)
+        raw = f"(int64_t)llround({src}[i] / {fx.scale!r})"
+        self.lines.append(
+            f"  for (int i = 0; i < {n}; i++) "
+            f"{out}[i] = {self._clamp(fx, raw)};")
+
+    def _op_base2_dequantize(self, op):
+        fx = self._fx(op.operands[0].type)
+        out = self._declare(op.results[0])
+        src = self._name(op.operands[0])
+        n = _elems(op.results[0].type)
+        self.lines.append(
+            f"  for (int i = 0; i < {n}; i++) "
+            f"{out}[i] = (double){src}[i] * {fx.scale!r};")
+
+    def _op_base2_add(self, op):
+        fx = self._fx(op.results[0].type)
+        out = self._declare(op.results[0])
+        a, b = (self._name(v) for v in op.operands)
+        n = _elems(op.results[0].type)
+        self.lines.append(
+            f"  for (int i = 0; i < {n}; i++) "
+            f"{out}[i] = {self._clamp(fx, f'{a}[i] + {b}[i]')};")
+
+    def _op_base2_mul(self, op):
+        fx = self._fx(op.results[0].type)
+        in_fx = self._fx(op.operands[0].type)
+        out = self._declare(op.results[0])
+        a, b = (self._name(v) for v in op.operands)
+        n = _elems(op.results[0].type)
+        expr = f"({a}[i] * {b}[i]) >> {in_fx.frac}"
+        self.lines.append(
+            f"  for (int i = 0; i < {n}; i++) "
+            f"{out}[i] = {self._clamp(fx, expr)};")
+
+    def _op_base2_relu(self, op):
+        self._emit_elementwise(op, "({0} > 0) ? {0} : 0")
+
+    def _op_base2_matmul(self, op):
+        fx = self._fx(op.results[0].type)
+        in_fx = self._fx(op.operands[0].type)
+        out = self._declare(op.results[0])
+        a, b = (self._name(v) for v in op.operands)
+        (m, k) = op.operands[0].type.shape
+        n = op.operands[1].type.shape[1]
+        acc_expr = self._clamp(fx, f"acc >> {in_fx.frac}")
+        self.lines += [
+            f"  for (int r = 0; r < {m}; r++)",
+            f"    for (int c = 0; c < {n}; c++) {{",
+            f"      int64_t acc = 0;",
+            f"      for (int t = 0; t < {k}; t++)",
+            f"        acc += {a}[r * {k} + t] * {b}[t * {n} + c];",
+            f"      {out}[r * {n} + c] = {acc_expr};",
+            f"    }}",
+        ]
+
+
+def emit_c(module: Module, func_name: str) -> str:
+    """Emit a self-contained C translation unit for one function."""
+    function = module.function(func_name)
+    body = CEmitter(function).emit()
+    return "\n".join([
+        "/* Generated by myrtus-repro DPE C backend */",
+        "#include <stdint.h>",
+        "#include <math.h>",
+        "",
+        body,
+        "",
+    ])
+
+
+def _emit_harness(function: Function, inputs: list[np.ndarray]) -> str:
+    """main() that feeds fixed inputs and prints outputs."""
+    lines = ["#include <stdio.h>", "", "int main(void) {"]
+    arg_names = []
+    for i, (arg, data) in enumerate(zip(function.arguments, inputs)):
+        ctype = _c_type(arg.type)
+        flat = np.asarray(data).ravel()
+        if ctype == "double":
+            chunks = ", ".join(repr(float(x)) for x in flat)
+        else:
+            chunks = ", ".join(f"INT64_C({int(x)})" for x in flat)
+        lines.append(f"  {ctype} in{i}[{len(flat)}] = {{{chunks}}};")
+        arg_names.append(f"in{i}")
+    out_names = []
+    for i, ret in enumerate(function.returns):
+        lines.append(f"  {_c_type(ret.type)} res{i}[{_elems(ret.type)}];")
+        out_names.append(f"res{i}")
+    lines.append(
+        f"  {function.name}({', '.join(arg_names + out_names)});")
+    for i, ret in enumerate(function.returns):
+        fmt = "%.17g" if _c_type(ret.type) == "double" else "%lld"
+        cast = "" if _c_type(ret.type) == "double" else "(long long)"
+        lines.append(
+            f"  for (int i = 0; i < {_elems(ret.type)}; i++) "
+            f'printf("{fmt}\\n", {cast}res{i}[i]);')
+    lines += ["  return 0;", "}"]
+    return "\n".join(lines)
+
+
+def compiler_available() -> bool:
+    """True when a C compiler is on PATH."""
+    return shutil.which("cc") is not None or \
+        shutil.which("gcc") is not None
+
+
+def compile_and_run(module: Module, func_name: str,
+                    inputs: list[np.ndarray]) -> list[np.ndarray]:
+    """Compile the generated C with the system compiler and execute it.
+
+    Returns one flat float/int array per function result. Raises
+    :class:`CompilationError` when no compiler exists or it fails.
+    """
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        raise CompilationError("no C compiler available on PATH")
+    function = module.function(func_name)
+    source = emit_c(module, func_name) + _emit_harness(function, inputs)
+    with tempfile.TemporaryDirectory() as tmp:
+        c_path = Path(tmp) / "kernel.c"
+        bin_path = Path(tmp) / "kernel"
+        c_path.write_text(source)
+        compile_result = subprocess.run(
+            [compiler, "-O2", "-std=c99", str(c_path), "-lm",
+             "-o", str(bin_path)],
+            capture_output=True, text=True)
+        if compile_result.returncode != 0:
+            raise CompilationError(
+                f"C compilation failed: {compile_result.stderr}")
+        run_result = subprocess.run([str(bin_path)], capture_output=True,
+                                    text=True)
+        if run_result.returncode != 0:
+            raise CompilationError(
+                f"generated binary failed: {run_result.stderr}")
+    values = [float(line) for line in run_result.stdout.split()]
+    outputs = []
+    cursor = 0
+    for ret in function.returns:
+        n = _elems(ret.type)
+        chunk = np.asarray(values[cursor:cursor + n])
+        if _is_tensor(ret.type):
+            chunk = chunk.reshape(ret.type.shape)
+        outputs.append(chunk)
+        cursor += n
+    return outputs

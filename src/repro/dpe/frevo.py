@@ -1,0 +1,114 @@
+"""Evolutionary synthesis of swarm-agent local rules (FREVO analogue).
+
+"FREVO generates the local rules for the swarm agents to be used within
+the MIRTO Cognitive Engine. To explore the effect of changes to the
+local rules on system's KPIs, a simulator such as DynAA can be used"
+(paper Sec. V). This module evolves the parameter vector of a
+:class:`SwarmRule` — the weights a swarm placement agent applies to
+local observations — against a user-supplied fitness function that runs
+the rule in a simulation and returns a KPI score.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwarmRule:
+    """A parameterized local decision rule for swarm agents.
+
+    The weights score a candidate placement target from locally
+    observable signals; agents pick the best-scoring target. This is the
+    artifact "Modelio is used to synthesize the swarm agents ... from
+    the local rules".
+    """
+
+    utilization_weight: float
+    latency_weight: float
+    energy_weight: float
+    trust_weight: float
+    exploration: float  # probability of a random choice
+
+    def as_vector(self) -> list[float]:
+        return [self.utilization_weight, self.latency_weight,
+                self.energy_weight, self.trust_weight, self.exploration]
+
+    @staticmethod
+    def from_vector(vector: list[float]) -> "SwarmRule":
+        if len(vector) != 5:
+            raise ConfigurationError("swarm rule vector must have 5 genes")
+        exploration = min(1.0, max(0.0, vector[4]))
+        return SwarmRule(vector[0], vector[1], vector[2], vector[3],
+                         exploration)
+
+    def score(self, utilization: float, latency_s: float, energy_j: float,
+              trust: float) -> float:
+        """Score a candidate target; higher is better."""
+        return (-self.utilization_weight * utilization
+                - self.latency_weight * latency_s
+                - self.energy_weight * energy_j
+                + self.trust_weight * trust)
+
+
+@dataclass
+class EvolutionRecord:
+    """Best fitness per generation, for convergence reporting."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+
+
+class RuleEvolver:
+    """(mu + lambda) evolution strategy over rule parameter vectors."""
+
+    def __init__(self, fitness_fn: Callable[[SwarmRule], float],
+                 rng: random.Random, mu: int = 6, lam: int = 12,
+                 generations: int = 20, sigma: float = 0.3):
+        if mu < 1 or lam < mu:
+            raise ConfigurationError("need lambda >= mu >= 1")
+        self.fitness_fn = fitness_fn
+        self.rng = rng
+        self.mu = mu
+        self.lam = lam
+        self.generations = generations
+        self.sigma = sigma
+        self.history: list[EvolutionRecord] = []
+
+    def _random_rule(self) -> SwarmRule:
+        return SwarmRule.from_vector(
+            [self.rng.uniform(-1, 1) for _ in range(4)]
+            + [self.rng.uniform(0, 0.3)])
+
+    def _mutate(self, rule: SwarmRule) -> SwarmRule:
+        vector = [g + self.rng.gauss(0, self.sigma)
+                  for g in rule.as_vector()]
+        return SwarmRule.from_vector(vector)
+
+    def evolve(self) -> tuple[SwarmRule, float]:
+        """Run the evolution; returns (best rule, best fitness).
+
+        Fitness is maximized.
+        """
+        population = [self._random_rule() for _ in range(self.mu)]
+        scored = [(self.fitness_fn(rule), rule) for rule in population]
+        for generation in range(self.generations):
+            offspring = []
+            for _ in range(self.lam):
+                parent = self.rng.choice(scored)[1]
+                child = self._mutate(parent)
+                offspring.append((self.fitness_fn(child), child))
+            pool = scored + offspring
+            pool.sort(key=lambda pair: pair[0], reverse=True)
+            scored = pool[: self.mu]
+            fitnesses = [f for f, _ in scored]
+            self.history.append(EvolutionRecord(
+                generation=generation,
+                best_fitness=fitnesses[0],
+                mean_fitness=sum(fitnesses) / len(fitnesses)))
+        return scored[0][1], scored[0][0]

@@ -1,0 +1,54 @@
+"""Mini-MLIR: SSA IR, dialects (arith/tensor/base2/dfg/cgra), passes.
+
+The DPE's common interoperability framework (paper Sec. V), modelled on
+the MLIR infrastructure of the EVEREST project: one IR shared by all
+front-ends (NumPy-like tensor programs, ONNX-style NN graphs) and all
+back-ends (CPU interpretation, FPGA HLS, CGRA configuration).
+"""
+
+from repro.dpe.mlir.ir import (
+    Base2Type,
+    Builder,
+    F32,
+    F64,
+    Function,
+    I1,
+    I32,
+    I64,
+    Module,
+    Operation,
+    ScalarType,
+    TensorType,
+    Value,
+    verify_function,
+    verify_module,
+)
+import repro.dpe.mlir.dialects  # noqa: F401  (registers ops)
+from repro.dpe.mlir.interp import Interpreter
+from repro.dpe.mlir.passes import (
+    canonicalize,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    quantization_error,
+    quantize_to_base2,
+)
+from repro.dpe.mlir.dataflow import Actor, Channel, DataflowGraph
+from repro.dpe.mlir.cgra import (
+    CgraConfig,
+    CgraMachine,
+    CgraModel,
+    emit_config_op,
+    map_function,
+)
+
+__all__ = [
+    "Base2Type", "Builder", "F32", "F64", "Function", "I1", "I32", "I64",
+    "Module", "Operation", "ScalarType", "TensorType", "Value",
+    "verify_function", "verify_module", "Interpreter",
+    "canonicalize", "eliminate_common_subexpressions",
+    "eliminate_dead_code", "fold_constants", "quantization_error",
+    "quantize_to_base2", "Actor", "Channel", "DataflowGraph",
+    "CgraConfig", "CgraMachine", "CgraModel", "emit_config_op",
+    "map_function",
+]

@@ -1,0 +1,185 @@
+"""The cgra dialect: mapping compute kernels onto a CGRA overlay.
+
+Reproduces the "ONNX to CGRAs" flow direction ([26]) and the cgra-mlir
+dialect: a :class:`CgraModel` describes a grid of processing elements
+with supported op classes; :func:`map_function` places a function's ops
+onto PEs with a modulo-scheduling-style list scheduler, producing a
+``cgra.config`` operation whose attributes are the configuration
+(placements + schedule). :class:`CgraMachine` executes a configuration
+cycle-accurately-ish, giving both functional results (checked against
+the interpreter) and latency/energy estimates used as operating-point
+meta-information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import CompilationError
+from repro.dpe.mlir.ir import Function, Module, Operation
+
+# Op classes a PE may support, keyed by op name prefix.
+_OP_CLASS = {
+    "arith.addi": "alu", "arith.subi": "alu", "arith.muli": "mul",
+    "arith.addf": "alu", "arith.subf": "alu", "arith.mulf": "mul",
+    "arith.divf": "div", "arith.maxf": "alu", "arith.minf": "alu",
+    "arith.cmp": "alu", "arith.select": "alu", "arith.constant": "const",
+    "base2.add": "alu", "base2.mul": "mul", "base2.relu": "alu",
+    "base2.quantize": "alu", "base2.dequantize": "alu",
+}
+
+_OP_LATENCY = {"alu": 1, "mul": 2, "div": 8, "const": 0}
+_OP_ENERGY_PJ = {"alu": 1.0, "mul": 3.0, "div": 12.0, "const": 0.1}
+
+
+@dataclass(frozen=True)
+class CgraModel:
+    """A rows x cols grid of PEs, each supporting a set of op classes."""
+
+    rows: int
+    cols: int
+    pe_classes: tuple[str, ...] = ("alu", "mul", "const")
+    clock_mhz: float = 200.0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise CompilationError("CGRA grid must be at least 1x1")
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def supports(self, op_class: str) -> bool:
+        return op_class in self.pe_classes
+
+
+@dataclass
+class Placement:
+    """One op placed on one PE at one schedule slot."""
+
+    op_index: int
+    op_name: str
+    pe: int
+    start_cycle: int
+    latency: int
+
+
+@dataclass
+class CgraConfig:
+    """A complete configuration: placements plus derived metrics."""
+
+    function: str
+    model: CgraModel
+    placements: list[Placement]
+    total_cycles: int
+
+    @property
+    def utilized_pes(self) -> int:
+        return len({p.pe for p in self.placements})
+
+    def latency_s(self) -> float:
+        return self.total_cycles / (self.model.clock_mhz * 1e6)
+
+    def energy_j(self) -> float:
+        total_pj = sum(
+            _OP_ENERGY_PJ[_OP_CLASS[p.op_name]] for p in self.placements)
+        return total_pj * 1e-12
+
+    def to_attributes(self) -> dict[str, Any]:
+        """Attribute dict for embedding in a ``cgra.config`` op."""
+        return {
+            "placements": [
+                (p.op_index, p.op_name, p.pe, p.start_cycle, p.latency)
+                for p in self.placements
+            ],
+            "total_cycles": self.total_cycles,
+            "grid": (self.model.rows, self.model.cols),
+        }
+
+
+def op_class_of(op: Operation) -> str:
+    """The PE class an op needs; raises for unmappable ops."""
+    op_class = _OP_CLASS.get(op.name)
+    if op_class is None:
+        raise CompilationError(f"op {op.name} cannot map to a CGRA PE")
+    return op_class
+
+
+def map_function(module: Module, func_name: str,
+                 model: CgraModel) -> CgraConfig:
+    """List-schedule a scalar function's ops onto the CGRA grid.
+
+    Dependencies constrain start cycles; each PE runs one op at a time.
+    Raises when the function contains an op class the PEs lack.
+    """
+    function = module.function(func_name)
+    # Check class support up front, collecting all problems.
+    unsupported = sorted({
+        op.name for op in function.ops
+        if not model.supports(op_class_of(op))})
+    if unsupported:
+        raise CompilationError(
+            f"CGRA lacks support for: {', '.join(unsupported)}")
+    ready_time: dict[int, int] = {id(a): 0 for a in function.arguments}
+    pe_free_at = [0] * model.num_pes
+    placements: list[Placement] = []
+    for index, op in enumerate(function.ops):
+        op_class = op_class_of(op)
+        latency = _OP_LATENCY[op_class]
+        earliest = max((ready_time[id(v)] for v in op.operands), default=0)
+        # Pick the PE that lets the op start soonest (ties: lowest id).
+        best_pe = min(range(model.num_pes),
+                      key=lambda pe: (max(pe_free_at[pe], earliest), pe))
+        start = max(pe_free_at[best_pe], earliest)
+        pe_free_at[best_pe] = start + max(1, latency)
+        placements.append(Placement(index, op.name, best_pe, start, latency))
+        for res in op.results:
+            ready_time[id(res)] = start + latency
+    total = max((p.start_cycle + max(1, p.latency) for p in placements),
+                default=0)
+    return CgraConfig(function=func_name, model=model,
+                      placements=placements, total_cycles=total)
+
+
+def emit_config_op(module: Module, config: CgraConfig) -> Operation:
+    """Wrap a config as a ``cgra.config`` op inside its function."""
+    function = module.function(config.function)
+    op = Operation(name="cgra.config", operands=[],
+                   attributes=config.to_attributes(), results=[])
+    function.ops.append(op)
+    return op
+
+
+class CgraMachine:
+    """Executes a configured function, honouring the schedule.
+
+    Functional results must equal the plain interpreter's (the lowering
+    equivalence check); cycle count comes from the schedule.
+    """
+
+    def __init__(self, module: Module, config: CgraConfig):
+        self.module = module
+        self.config = config
+
+    def run(self, *args) -> tuple[list[Any], int]:
+        """Returns (results, cycles)."""
+        function = self.module.function(self.config.function)
+        env: dict[int, Any] = {}
+        for formal, actual in zip(function.arguments, args):
+            env[id(formal)] = actual
+        from repro.dpe.mlir.interp import Interpreter
+        interp = Interpreter(self.module)
+        schedule = sorted(self.config.placements,
+                          key=lambda p: (p.start_cycle, p.pe))
+        body_ops = [op for op in function.ops if op.name != "cgra.config"]
+        for placement in schedule:
+            op = body_ops[placement.op_index]
+            inputs = [env[id(v)] for v in op.operands]
+            outputs = interp._execute(op, inputs)
+            for value, result in zip(op.results, outputs):
+                env[id(value)] = result
+        results = [env[id(r)] for r in function.returns]
+        return results, self.config.total_cycles

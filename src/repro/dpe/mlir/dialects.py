@@ -1,0 +1,169 @@
+"""Dialect definitions: arith, tensor, base2 and their verifiers.
+
+Each op is registered with a structural verifier; the interpreter in
+:mod:`repro.dpe.mlir.interp` gives them executable semantics so every
+lowering can be checked for functional equivalence.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import CompilationError
+from repro.dpe.mlir.ir import (
+    Base2Type,
+    Operation,
+    ScalarType,
+    TensorType,
+    register_op,
+)
+
+
+def _same_type(a, b) -> bool:
+    return a == b
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise CompilationError(message)
+
+
+# -- arith dialect ----------------------------------------------------------------
+
+
+def _verify_binary_same(op: Operation) -> None:
+    _require(len(op.operands) == 2, "needs exactly two operands")
+    _require(len(op.results) == 1, "produces exactly one result")
+    lhs, rhs = op.operands
+    _require(_same_type(lhs.type, rhs.type),
+             f"operand types differ: {lhs.type} vs {rhs.type}")
+    _require(_same_type(lhs.type, op.results[0].type),
+             "result type must match operand type")
+
+
+def _verify_const(op: Operation) -> None:
+    _require(len(op.operands) == 0, "constants take no operands")
+    _require("value" in op.attributes, "constant needs a 'value' attribute")
+
+
+def _verify_cmp(op: Operation) -> None:
+    _require(len(op.operands) == 2, "needs exactly two operands")
+    _require(op.attributes.get("predicate") in
+             ("eq", "ne", "lt", "le", "gt", "ge"),
+             "cmp needs a valid 'predicate' attribute")
+    _require(op.results[0].type == ScalarType("i1"),
+             "cmp result must be i1")
+
+
+def _verify_select(op: Operation) -> None:
+    _require(len(op.operands) == 3, "select takes cond, a, b")
+    _require(op.operands[0].type == ScalarType("i1"),
+             "select condition must be i1")
+    _require(_same_type(op.operands[1].type, op.operands[2].type),
+             "select branches must have the same type")
+
+
+for _name in ("arith.addi", "arith.subi", "arith.muli",
+              "arith.addf", "arith.subf", "arith.mulf", "arith.divf",
+              "arith.maxf", "arith.minf"):
+    register_op(_name, _verify_binary_same)
+register_op("arith.constant", _verify_const)
+register_op("arith.cmp", _verify_cmp)
+register_op("arith.select", _verify_select)
+
+
+# -- tensor dialect (NN kernels; the torch-MLIR/ONNX entry point) -------------------
+
+
+def _verify_matmul(op: Operation) -> None:
+    _require(len(op.operands) == 2, "matmul takes two operands")
+    a, b = op.operands
+    _require(isinstance(a.type, TensorType) and isinstance(b.type, TensorType),
+             "matmul operands must be tensors")
+    _require(len(a.type.shape) == 2 and len(b.type.shape) == 2,
+             "matmul needs rank-2 tensors")
+    _require(a.type.shape[1] == b.type.shape[0],
+             f"matmul inner dims differ: {a.type.shape} x {b.type.shape}")
+    result = op.results[0].type
+    _require(isinstance(result, TensorType)
+             and result.shape == (a.type.shape[0], b.type.shape[1]),
+             "matmul result shape mismatch")
+
+
+def _verify_elementwise(op: Operation) -> None:
+    _require(len(op.operands) >= 1, "needs at least one operand")
+    first = op.operands[0].type
+    _require(isinstance(first, TensorType), "operands must be tensors")
+    for other in op.operands[1:]:
+        _require(other.type == first, "elementwise operand types differ")
+    _require(op.results[0].type == first,
+             "elementwise result type mismatch")
+
+
+def _verify_reshape(op: Operation) -> None:
+    _require(len(op.operands) == 1, "reshape takes one operand")
+    src = op.operands[0].type
+    dst = op.results[0].type
+    _require(isinstance(src, TensorType) and isinstance(dst, TensorType),
+             "reshape needs tensor types")
+    _require(src.num_elements == dst.num_elements,
+             "reshape must preserve element count")
+
+
+register_op("tensor.matmul", _verify_matmul)
+register_op("tensor.add", _verify_elementwise)
+register_op("tensor.mul", _verify_elementwise)
+register_op("tensor.relu", _verify_elementwise)
+register_op("tensor.reshape", _verify_reshape)
+register_op("tensor.constant", _verify_const)
+
+
+# -- base2 dialect (fixed-point numerals [25]) ----------------------------------------
+
+
+def _verify_quantize(op: Operation) -> None:
+    _require(len(op.operands) == 1, "quantize takes one operand")
+    dst = op.results[0].type
+    elem = dst.element if isinstance(dst, TensorType) else dst
+    _require(isinstance(elem, Base2Type),
+             "quantize result must be a base2 type")
+
+
+def _verify_dequantize(op: Operation) -> None:
+    _require(len(op.operands) == 1, "dequantize takes one operand")
+    src = op.operands[0].type
+    elem = src.element if isinstance(src, TensorType) else src
+    _require(isinstance(elem, Base2Type),
+             "dequantize operand must be a base2 type")
+
+
+def _verify_fixed_binary(op: Operation) -> None:
+    _require(len(op.operands) == 2, "needs exactly two operands")
+    for operand in op.operands:
+        t = operand.type
+        elem = t.element if isinstance(t, TensorType) else t
+        _require(isinstance(elem, Base2Type),
+                 "fixed-point op needs base2 operands")
+
+
+register_op("base2.quantize", _verify_quantize)
+register_op("base2.dequantize", _verify_dequantize)
+register_op("base2.add", _verify_fixed_binary)
+register_op("base2.mul", _verify_fixed_binary)
+register_op("base2.matmul", _verify_fixed_binary)
+register_op("base2.relu", lambda op: None)
+
+
+# -- dfg dialect markers (graph structure lives in repro.dpe.mlir.dataflow) ------------
+
+register_op("dfg.push", lambda op: None)
+register_op("dfg.pull", lambda op: None)
+
+
+# -- cgra dialect ------------------------------------------------------------------
+
+
+def _verify_cgra_config(op: Operation) -> None:
+    _require("placements" in op.attributes,
+             "cgra.config needs a 'placements' attribute")
+
+
+register_op("cgra.config", _verify_cgra_config)

@@ -1,0 +1,173 @@
+"""Reference interpreter for the IR.
+
+Gives every dialect executable semantics so each compilation stage can
+be checked for functional equivalence against its input — the DPE's
+correctness story for "turning applications into executable
+implementations". Tensors are numpy arrays; base2 values are integers
+(raw fixed-point representations) carried alongside their types.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.errors import CompilationError
+from repro.dpe.mlir.ir import Base2Type, Function, Module, TensorType, Value
+
+
+def _elem_base2(type_) -> Base2Type | None:
+    if isinstance(type_, Base2Type):
+        return type_
+    if isinstance(type_, TensorType) and isinstance(type_.element, Base2Type):
+        return type_.element
+    return None
+
+
+class Interpreter:
+    """Executes single-block functions op by op."""
+
+    def __init__(self, module: Module):
+        self.module = module
+
+    def run(self, func_name: str, *args: Any) -> list[Any]:
+        """Execute *func_name* on concrete inputs; returns result list."""
+        function = self.module.function(func_name)
+        if len(args) != len(function.arguments):
+            raise CompilationError(
+                f"{func_name} expects {len(function.arguments)} args, "
+                f"got {len(args)}")
+        env: dict[int, Any] = {}
+        for formal, actual in zip(function.arguments, args):
+            env[id(formal)] = actual
+        for op in function.ops:
+            inputs = [env[id(v)] for v in op.operands]
+            outputs = self._execute(op, inputs)
+            for value, result in zip(op.results, outputs):
+                env[id(value)] = result
+        return [env[id(r)] for r in function.returns]
+
+    # -- op semantics --------------------------------------------------------------
+
+    def _execute(self, op, inputs: list[Any]) -> list[Any]:
+        name = op.name
+        handler = getattr(self, "_op_" + name.replace(".", "_"), None)
+        if handler is None:
+            raise CompilationError(f"interpreter: unsupported op {name}")
+        return handler(op, inputs)
+
+    # arith ------------------------------------------------------------------
+
+    def _op_arith_constant(self, op, inputs):
+        return [op.attributes["value"]]
+
+    def _op_arith_addi(self, op, inputs):
+        return [inputs[0] + inputs[1]]
+
+    _op_arith_addf = _op_arith_addi
+
+    def _op_arith_subi(self, op, inputs):
+        return [inputs[0] - inputs[1]]
+
+    _op_arith_subf = _op_arith_subi
+
+    def _op_arith_muli(self, op, inputs):
+        return [inputs[0] * inputs[1]]
+
+    _op_arith_mulf = _op_arith_muli
+
+    def _op_arith_divf(self, op, inputs):
+        return [inputs[0] / inputs[1]]
+
+    def _op_arith_maxf(self, op, inputs):
+        return [max(inputs[0], inputs[1])]
+
+    def _op_arith_minf(self, op, inputs):
+        return [min(inputs[0], inputs[1])]
+
+    def _op_arith_cmp(self, op, inputs):
+        predicate = op.attributes["predicate"]
+        a, b = inputs
+        result = {
+            "eq": a == b, "ne": a != b, "lt": a < b,
+            "le": a <= b, "gt": a > b, "ge": a >= b,
+        }[predicate]
+        return [bool(result)]
+
+    def _op_arith_select(self, op, inputs):
+        return [inputs[1] if inputs[0] else inputs[2]]
+
+    # tensor ------------------------------------------------------------------
+
+    def _op_tensor_constant(self, op, inputs):
+        return [np.asarray(op.attributes["value"], dtype=np.float64)]
+
+    def _op_tensor_matmul(self, op, inputs):
+        return [np.asarray(inputs[0]) @ np.asarray(inputs[1])]
+
+    def _op_tensor_add(self, op, inputs):
+        return [np.asarray(inputs[0]) + np.asarray(inputs[1])]
+
+    def _op_tensor_mul(self, op, inputs):
+        return [np.asarray(inputs[0]) * np.asarray(inputs[1])]
+
+    def _op_tensor_relu(self, op, inputs):
+        return [np.maximum(np.asarray(inputs[0]), 0.0)]
+
+    def _op_tensor_reshape(self, op, inputs):
+        return [np.asarray(inputs[0]).reshape(op.results[0].type.shape)]
+
+    # base2 (fixed point): raw integer representations ------------------------------
+
+    def _op_base2_quantize(self, op, inputs):
+        fx = _elem_base2(op.results[0].type)
+        value = np.asarray(inputs[0], dtype=np.float64)
+        lo = round(fx.min_value / fx.scale)
+        hi = round(fx.max_value / fx.scale)
+        raw = np.clip(np.round(value / fx.scale), lo, hi).astype(np.int64)
+        return [raw if raw.ndim else int(raw)]
+
+    def _op_base2_dequantize(self, op, inputs):
+        fx = _elem_base2(op.operands[0].type)
+        return [np.asarray(inputs[0], dtype=np.float64) * fx.scale]
+
+    def _op_base2_add(self, op, inputs):
+        fx = _elem_base2(op.results[0].type)
+        raw = np.asarray(inputs[0], dtype=np.int64) \
+            + np.asarray(inputs[1], dtype=np.int64)
+        return [self._saturate(raw, fx)]
+
+    def _op_base2_mul(self, op, inputs):
+        fx = _elem_base2(op.results[0].type)
+        wide = np.asarray(inputs[0], dtype=np.int64) \
+            * np.asarray(inputs[1], dtype=np.int64)
+        # Product has 2*frac fractional bits: shift back.
+        in_fx = _elem_base2(op.operands[0].type)
+        raw = wide >> in_fx.frac
+        return [self._saturate(raw, fx)]
+
+    def _op_base2_matmul(self, op, inputs):
+        fx = _elem_base2(op.results[0].type)
+        in_fx = _elem_base2(op.operands[0].type)
+        wide = np.asarray(inputs[0], dtype=np.int64) \
+            @ np.asarray(inputs[1], dtype=np.int64)
+        raw = wide >> in_fx.frac
+        return [self._saturate(raw, fx)]
+
+    def _op_base2_relu(self, op, inputs):
+        return [np.maximum(np.asarray(inputs[0], dtype=np.int64), 0)]
+
+    @staticmethod
+    def _saturate(raw: np.ndarray, fx: Base2Type) -> np.ndarray:
+        lo = round(fx.min_value / fx.scale)
+        hi = round(fx.max_value / fx.scale)
+        return np.clip(raw, lo, hi)
+
+    # cgra: a config op evaluates its embedded schedule functionally ------------------
+
+    def _op_cgra_config(self, op, inputs):
+        raise CompilationError(
+            "cgra.config is a configuration artifact, not executable here; "
+            "use repro.dpe.mlir.cgra.CgraMachine"
+        )

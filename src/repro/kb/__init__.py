@@ -1,0 +1,50 @@
+"""Distributed Knowledge Base: Raft consensus, replicated KV, registry.
+
+The paper's shared ontological KB (Sec. III, Sec. VI) implemented as an
+etcd-style strongly consistent store: Raft leader election and log
+replication (:mod:`repro.kb.raft`), a replicated key-value state machine
+with revisions, prefix watches and leases (:mod:`repro.kb.store`), and
+the Resource Registry / telemetry history on top
+(:mod:`repro.kb.registry`).
+"""
+
+from repro.kb.raft import (
+    AppendEntries,
+    InstallSnapshot,
+    AppendEntriesReply,
+    LogEntry,
+    RaftCluster,
+    RaftNode,
+    RequestVote,
+    RequestVoteReply,
+    Role,
+)
+from repro.kb.store import (
+    KeyValue,
+    KnowledgeBase,
+    KVState,
+    Lease,
+    Watch,
+    WatchEvent,
+)
+from repro.kb.registry import ComponentRecord, ResourceRegistry
+
+__all__ = [
+    "AppendEntries",
+    "InstallSnapshot",
+    "AppendEntriesReply",
+    "LogEntry",
+    "RaftCluster",
+    "RaftNode",
+    "RequestVote",
+    "RequestVoteReply",
+    "Role",
+    "KeyValue",
+    "KnowledgeBase",
+    "KVState",
+    "Lease",
+    "Watch",
+    "WatchEvent",
+    "ComponentRecord",
+    "ResourceRegistry",
+]

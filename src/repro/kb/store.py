@@ -1,0 +1,357 @@
+"""Replicated key-value Knowledge Base on top of Raft.
+
+Models the ETCD role the paper assigns to the KB: a strongly consistent
+distributed store with revisions, prefix watches, and leases. Every
+replica applies the same committed command stream to its own
+:class:`KVState`, so all replicas converge; reads are served from the
+leader's applied state (linearizable at this model's granularity).
+Leases expire on the logical clock and, as in etcd, are revoked through
+consensus by the leader so every replica deletes the attached keys at
+the same log position.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import ConsensusError, NotFoundError
+from repro.kb.raft import RaftCluster
+
+
+@dataclass
+class KeyValue:
+    """One stored value with its revision metadata."""
+
+    key: str
+    value: Any
+    create_revision: int
+    mod_revision: int
+    lease_id: int | None = None
+
+
+@dataclass
+class WatchEvent:
+    """Notification delivered to watchers."""
+
+    event_type: str  # "put" or "delete"
+    key: str
+    value: Any
+    revision: int
+
+
+@dataclass
+class Lease:
+    lease_id: int
+    ttl_ticks: int
+    expires_at: int
+
+
+class KVState:
+    """The deterministic state machine each Raft replica applies."""
+
+    def __init__(self):
+        self.data: dict[str, KeyValue] = {}
+        self.leases: dict[int, Lease] = {}
+        self.revision = 0
+        self.last_txn_succeeded = False
+        self._events: list[WatchEvent] = []
+
+    def apply(self, command: dict) -> None:
+        op = command["op"]
+        if op == "put":
+            self.revision += 1
+            key = command["key"]
+            existing = self.data.get(key)
+            self.data[key] = KeyValue(
+                key=key,
+                value=command["value"],
+                create_revision=(existing.create_revision if existing
+                                 else self.revision),
+                mod_revision=self.revision,
+                lease_id=command.get("lease"),
+            )
+            self._events.append(WatchEvent("put", key, command["value"],
+                                           self.revision))
+        elif op == "delete":
+            key = command["key"]
+            if key in self.data:
+                self.revision += 1
+                del self.data[key]
+                self._events.append(WatchEvent("delete", key, None,
+                                               self.revision))
+        elif op == "grant_lease":
+            self.leases[command["id"]] = Lease(
+                lease_id=command["id"],
+                ttl_ticks=command["ttl"],
+                expires_at=command["now"] + command["ttl"],
+            )
+        elif op == "keepalive":
+            lease = self.leases.get(command["id"])
+            if lease is not None:
+                lease.expires_at = command["now"] + lease.ttl_ticks
+        elif op == "txn":
+            self._apply_txn(command)
+        elif op == "revoke_lease":
+            lease = self.leases.pop(command["id"], None)
+            if lease is not None:
+                for key in [k for k, kv in self.data.items()
+                            if kv.lease_id == command["id"]]:
+                    self.revision += 1
+                    del self.data[key]
+                    self._events.append(WatchEvent("delete", key, None,
+                                                   self.revision))
+        else:
+            raise ConsensusError(f"unknown KB command op {op!r}")
+
+    def _check_compare(self, compare: list) -> bool:
+        """Evaluate a txn's guard deterministically against local state."""
+        for key, operator, expected in compare:
+            entry = self.data.get(key)
+            if operator == "exists":
+                if entry is None:
+                    return False
+            elif operator == "absent":
+                if entry is not None:
+                    return False
+            elif operator == "==":
+                if entry is None or entry.value != expected:
+                    return False
+            elif operator == "!=":
+                if entry is not None and entry.value == expected:
+                    return False
+            elif operator == "mod_rev==":
+                if entry is None or entry.mod_revision != expected:
+                    return False
+            else:
+                raise ConsensusError(
+                    f"unknown txn comparison operator {operator!r}")
+        return True
+
+    def _apply_txn(self, command: dict) -> None:
+        """etcd-style transaction: guard, then one branch, atomically.
+
+        The guard is evaluated inside apply, so every replica takes the
+        same branch at the same log position.
+        """
+        taken = (command["on_success"]
+                 if self._check_compare(command.get("compare", []))
+                 else command.get("on_failure", []))
+        self.last_txn_succeeded = taken is command["on_success"]
+        for sub in taken:
+            if sub["op"] == "txn":
+                raise ConsensusError("nested transactions not supported")
+            self.apply(sub)
+
+    def snapshot(self) -> dict:
+        """Serializable copy of the full state machine (for Raft
+        compaction). Pending watch events are volatile and excluded."""
+        import copy as _copy
+        return {
+            "data": _copy.deepcopy(self.data),
+            "leases": _copy.deepcopy(self.leases),
+            "revision": self.revision,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Replace this replica's state with a snapshot."""
+        import copy as _copy
+        self.data = _copy.deepcopy(state["data"])
+        self.leases = _copy.deepcopy(state["leases"])
+        self.revision = state["revision"]
+        self._events = []
+
+    def drain_events(self) -> list[WatchEvent]:
+        events, self._events = self._events, []
+        return events
+
+
+@dataclass
+class Watch:
+    """A registered prefix watch."""
+
+    prefix: str
+    handler: Callable[[WatchEvent], None]
+    active: bool = True
+
+
+class KnowledgeBase:
+    """Client facade over the replicated store.
+
+    The paper's "one ontological KB (logical view) ... distributed in
+    different layers (implementation view)": each replica can live on a
+    different continuum layer; clients talk to the cluster as one store.
+    """
+
+    def __init__(self, replicas: int = 3, seed: int = 0,
+                 message_delay: int = 1, drop_probability: float = 0.0,
+                 snapshot_threshold: int | None = None):
+        names = [f"kb-{i}" for i in range(replicas)]
+        self._states = {name: KVState() for name in names}
+        self.cluster = RaftCluster(
+            names,
+            random.Random(seed),
+            apply_fns={name: self._states[name].apply for name in names},
+            message_delay=message_delay,
+            drop_probability=drop_probability,
+            snapshot_fns={name: self._states[name].snapshot
+                          for name in names},
+            restore_fns={name: self._states[name].restore
+                         for name in names},
+            snapshot_threshold=snapshot_threshold,
+        )
+        self._watches: list[Watch] = []
+        self._next_lease_id = 1
+
+    # -- replica plumbing ---------------------------------------------------------
+
+    def _leader_state(self, max_ticks: int = 200) -> KVState:
+        """State of the current leader, readable only once linearizable.
+
+        A freshly elected leader may hold committed-but-unapplied entries
+        from earlier terms; serving reads before its no-op commits would
+        violate linearizability (etcd solves this with ReadIndex). We
+        tick until the leader has applied its whole log.
+        """
+        leader = self.cluster.run_until_leader()
+        node = self.cluster.nodes[leader]
+        for _ in range(max_ticks):
+            if node.last_applied >= node.last_log_index():
+                return self._states[leader]
+            self.cluster.tick()
+            fresh = self.cluster.leader()
+            if fresh is not None and fresh != leader:
+                leader = fresh
+                node = self.cluster.nodes[leader]
+        raise ConsensusError(
+            "leader could not establish a linearizable read point"
+        )
+
+    def _propose(self, command: dict) -> None:
+        self.cluster.propose(command)
+        self._dispatch_watches()
+
+    def _dispatch_watches(self) -> None:
+        state = self._leader_state()
+        for event in state.drain_events():
+            for watch in self._watches:
+                if watch.active and event.key.startswith(watch.prefix):
+                    watch.handler(event)
+
+    # -- KV operations -----------------------------------------------------------
+
+    def put(self, key: str, value: Any, lease_id: int | None = None) -> None:
+        """Write *key* through consensus; optionally attach to a lease."""
+        command = {"op": "put", "key": key, "value": value}
+        if lease_id is not None:
+            if lease_id not in self._leader_state().leases:
+                raise NotFoundError(f"unknown lease {lease_id}")
+            command["lease"] = lease_id
+        self._propose(command)
+
+    def get(self, key: str) -> Any:
+        """Linearizable read from the leader's applied state."""
+        state = self._leader_state()
+        if key not in state.data:
+            raise NotFoundError(f"key {key!r} not in knowledge base")
+        return state.data[key].value
+
+    def get_with_meta(self, key: str) -> KeyValue:
+        """Read value plus revision metadata."""
+        state = self._leader_state()
+        if key not in state.data:
+            raise NotFoundError(f"key {key!r} not in knowledge base")
+        return state.data[key]
+
+    def delete(self, key: str) -> None:
+        """Delete *key* through consensus (no-op if absent)."""
+        self._propose({"op": "delete", "key": key})
+
+    def range(self, prefix: str) -> dict[str, Any]:
+        """All key/value pairs under *prefix*."""
+        state = self._leader_state()
+        return {k: kv.value for k, kv in sorted(state.data.items())
+                if k.startswith(prefix)}
+
+    @property
+    def revision(self) -> int:
+        """Current store revision at the leader."""
+        return self._leader_state().revision
+
+    def txn(self, compare: list[tuple[str, str, Any]],
+            on_success: list[dict],
+            on_failure: list[dict] | None = None) -> bool:
+        """Atomic compare-and-mutate (the etcd Txn primitive).
+
+        *compare* entries are ``(key, operator, expected)`` with
+        operators ``==``, ``!=``, ``exists``, ``absent``, ``mod_rev==``
+        (pass ``None`` as expected for the unary ones). Branches are
+        lists of plain put/delete commands. Returns True when the
+        success branch ran. Example — acquire a coordination flag only
+        if nobody holds it::
+
+            kb.txn([("lock/ingest", "absent", None)],
+                   on_success=[{"op": "put", "key": "lock/ingest",
+                                "value": "agent-a"}])
+        """
+        command = {
+            "op": "txn",
+            "compare": [list(c) for c in compare],
+            "on_success": list(on_success),
+            "on_failure": list(on_failure or []),
+        }
+        self._propose(command)
+        return self._leader_state().last_txn_succeeded
+
+    # -- watches -------------------------------------------------------------------
+
+    def watch(self, prefix: str,
+              handler: Callable[[WatchEvent], None]) -> Watch:
+        """Invoke *handler* for every change under *prefix*."""
+        watch = Watch(prefix=prefix, handler=handler)
+        self._watches.append(watch)
+        return watch
+
+    def cancel_watch(self, watch: Watch) -> None:
+        watch.active = False
+        if watch in self._watches:
+            self._watches.remove(watch)
+
+    # -- leases --------------------------------------------------------------------
+
+    def grant_lease(self, ttl_ticks: int) -> int:
+        """Create a lease; keys attached to it die when it expires."""
+        lease_id = self._next_lease_id
+        self._next_lease_id += 1
+        self._propose({"op": "grant_lease", "id": lease_id,
+                       "ttl": ttl_ticks, "now": self.cluster.now})
+        return lease_id
+
+    def keepalive(self, lease_id: int) -> None:
+        """Refresh a lease's TTL."""
+        if lease_id not in self._leader_state().leases:
+            raise NotFoundError(f"unknown lease {lease_id}")
+        self._propose({"op": "keepalive", "id": lease_id,
+                       "now": self.cluster.now})
+
+    def expire_due_leases(self) -> list[int]:
+        """Leader-side revocation of expired leases (as etcd does)."""
+        state = self._leader_state()
+        expired = [lease.lease_id for lease in state.leases.values()
+                   if lease.expires_at <= self.cluster.now]
+        for lease_id in expired:
+            self._propose({"op": "revoke_lease", "id": lease_id})
+        return expired
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance logical time (heartbeats, elections, lease aging)."""
+        self.cluster.tick(steps)
+        self._dispatch_watches()
+
+    def replica_states(self) -> dict[str, dict[str, Any]]:
+        """Raw data per replica — used by tests to check convergence."""
+        return {name: {k: kv.value for k, kv in state.data.items()}
+                for name, state in self._states.items()}

@@ -1,0 +1,50 @@
+"""Mini-Kubernetes: the continuum's low-level orchestrator.
+
+The paper uses Kubernetes on every layer (Table I) with LIQO providing
+multi-cluster virtualization (Sec. IV). This package reproduces the
+abstractions the MIRTO Cognitive Engine depends on: the object model
+(:mod:`repro.kube.objects`), a filter-and-score scheduler
+(:mod:`repro.kube.scheduler`), the per-cluster control plane
+(:mod:`repro.kube.cluster`) and LIQO-style peering/offloading
+(:mod:`repro.kube.liqo`).
+"""
+
+from repro.kube.objects import (
+    Deployment,
+    Node,
+    Pod,
+    PodPhase,
+    PodSpec,
+    ResourceRequest,
+    Taint,
+)
+from repro.kube.scheduler import (
+    FilterResult,
+    Scheduler,
+    DEFAULT_PREDICATES,
+    DEFAULT_PRIORITIES,
+)
+from repro.kube.cluster import ClusterEvent, KubeCluster
+from repro.kube.liqo import ContinuumFederation, OffloadedPod, Peering
+from repro.kube.autoscaler import HorizontalAutoscaler, ScalingEvent
+
+__all__ = [
+    "Deployment",
+    "Node",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "ResourceRequest",
+    "Taint",
+    "FilterResult",
+    "Scheduler",
+    "DEFAULT_PREDICATES",
+    "DEFAULT_PRIORITIES",
+    "ClusterEvent",
+    "KubeCluster",
+    "ContinuumFederation",
+    "OffloadedPod",
+    "Peering",
+    "HorizontalAutoscaler",
+    "ScalingEvent",
+]

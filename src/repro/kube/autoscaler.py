@@ -1,0 +1,86 @@
+"""Horizontal autoscaling for deployments (the elasticity half of
+Table I's "handling scalability without compromising QoS").
+
+A :class:`HorizontalAutoscaler` watches a metric (deployment-average
+utilization, supplied by a callback so any monitor can feed it) and
+resizes the deployment towards ``replicas = ceil(current * metric /
+target)`` — the kube-HPA control law — bounded by min/max replicas and a
+stabilization window that prevents flapping on noisy metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import ConfigurationError, NotFoundError
+from repro.kube.cluster import KubeCluster
+
+
+@dataclass
+class ScalingEvent:
+    """One executed scaling decision."""
+
+    tick: int
+    from_replicas: int
+    to_replicas: int
+    metric: float
+
+
+class HorizontalAutoscaler:
+    """kube-HPA-style closed-loop replica controller."""
+
+    def __init__(self, cluster: KubeCluster, deployment: str,
+                 metric_fn: Callable[[], float],
+                 target: float = 0.6, min_replicas: int = 1,
+                 max_replicas: int = 10,
+                 stabilization_ticks: int = 3,
+                 tolerance: float = 0.1):
+        if deployment not in cluster.deployments:
+            raise NotFoundError(f"unknown deployment {deployment!r}")
+        if not 0 < target:
+            raise ConfigurationError("target metric must be positive")
+        if min_replicas < 0 or max_replicas < min_replicas:
+            raise ConfigurationError("bad replica bounds")
+        self.cluster = cluster
+        self.deployment = deployment
+        self.metric_fn = metric_fn
+        self.target = target
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.stabilization_ticks = stabilization_ticks
+        self.tolerance = tolerance
+        self.events: list[ScalingEvent] = []
+        self._tick = 0
+        self._last_scale_tick = -stabilization_ticks
+
+    def desired_replicas(self, metric: float, current: int) -> int:
+        """The HPA control law, with tolerance band and bounds."""
+        if current == 0:
+            return self.min_replicas
+        ratio = metric / self.target
+        if abs(ratio - 1.0) <= self.tolerance:
+            return current  # within tolerance: no change
+        desired = math.ceil(current * ratio)
+        return max(self.min_replicas, min(self.max_replicas, desired))
+
+    def tick(self) -> ScalingEvent | None:
+        """One control-loop pass; returns the event if scaling happened."""
+        self._tick += 1
+        metric = self.metric_fn()
+        current = self.cluster.deployments[self.deployment].replicas
+        desired = self.desired_replicas(metric, current)
+        if desired == current:
+            return None
+        if desired < current and \
+                self._tick - self._last_scale_tick \
+                < self.stabilization_ticks:
+            return None  # scale-down needs a quiet window
+        self.cluster.scale_deployment(self.deployment, desired)
+        self.cluster.reconcile()
+        self._last_scale_tick = self._tick
+        event = ScalingEvent(tick=self._tick, from_replicas=current,
+                             to_replicas=desired, metric=metric)
+        self.events.append(event)
+        return event

@@ -1,0 +1,234 @@
+"""The cluster control plane: API objects, scheduling, reconciliation.
+
+A :class:`KubeCluster` is one Kubernetes-like control plane — the paper
+runs one per layer/site ("all layers support Kubernetes as low-level
+orchestrator"). It stores nodes and pods, schedules pending pods with
+the filter-and-score :class:`~repro.kube.scheduler.Scheduler`, runs a
+deployment controller that maintains replica counts, and evicts pods
+from failed nodes. LIQO peering (:mod:`repro.kube.liqo`) reflects other
+clusters into this one as virtual nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import NotFoundError, OrchestrationError, ValidationError
+from repro.core.events import EventBus
+from repro.core.ids import IdGenerator
+from repro.kube.objects import (
+    Deployment,
+    Node,
+    Pod,
+    PodPhase,
+    PodSpec,
+    ResourceRequest,
+)
+from repro.kube.scheduler import Scheduler
+
+
+@dataclass
+class ClusterEvent:
+    """A control-plane event (scheduling decision, eviction, ...)."""
+
+    kind: str
+    object_name: str
+    message: str
+
+
+class KubeCluster:
+    """One Kubernetes-style cluster."""
+
+    def __init__(self, name: str, scheduler: Scheduler | None = None,
+                 bus: EventBus | None = None):
+        self.name = name
+        self.scheduler = scheduler or Scheduler()
+        self.bus = bus or EventBus()
+        self.nodes: dict[str, Node] = {}
+        self.pods: dict[str, Pod] = {}
+        self.deployments: dict[str, Deployment] = {}
+        self.events: list[ClusterEvent] = []
+        self._ids = IdGenerator()
+        # Hook LIQO uses to forward pods bound to virtual nodes.
+        self.offload_hooks: list[Callable[[Pod, Node], None]] = []
+
+    # -- node lifecycle -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValidationError(f"duplicate node {node.name!r}")
+        self.nodes[node.name] = node
+        self._emit("NodeAdded", node.name, f"capacity "
+                   f"{node.capacity.cpu_millicores}m")
+        return node
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node, evicting everything scheduled on it."""
+        if name not in self.nodes:
+            raise NotFoundError(f"unknown node {name!r}")
+        del self.nodes[name]
+        for pod in self.pods.values():
+            if pod.node_name == name and pod.phase in (
+                    PodPhase.SCHEDULED, PodPhase.RUNNING):
+                self._evict(pod, f"node {name} removed")
+
+    def set_node_ready(self, name: str, ready: bool) -> None:
+        """Mark a node (un)ready; unready nodes get their pods evicted."""
+        node = self.node(name)
+        node.ready = ready
+        if not ready:
+            for pod in self.pods.values():
+                if pod.node_name == name and pod.phase in (
+                        PodPhase.SCHEDULED, PodPhase.RUNNING):
+                    self._evict(pod, f"node {name} not ready")
+
+    def node(self, name: str) -> Node:
+        if name not in self.nodes:
+            raise NotFoundError(f"unknown node {name!r}")
+        return self.nodes[name]
+
+    def node_free(self, node: Node) -> ResourceRequest:
+        """Capacity minus requests of pods placed on the node."""
+        used = ResourceRequest(0, 0)
+        for pod in self.pods.values():
+            if pod.node_name == node.name and pod.phase in (
+                    PodPhase.SCHEDULED, PodPhase.RUNNING):
+                used = used + pod.spec.request
+        return ResourceRequest(
+            node.capacity.cpu_millicores - used.cpu_millicores,
+            node.capacity.memory_bytes - used.memory_bytes,
+        )
+
+    # -- pod lifecycle --------------------------------------------------------------
+
+    def create_pod(self, spec: PodSpec) -> Pod:
+        """Submit a pod; it stays Pending until the next reconcile."""
+        pod = Pod(spec=spec, uid=self._ids.next("pod"))
+        if any(p.spec.name == spec.name and p.phase in (
+                PodPhase.PENDING, PodPhase.SCHEDULED, PodPhase.RUNNING)
+               for p in self.pods.values()):
+            raise ValidationError(f"active pod named {spec.name!r} exists")
+        self.pods[pod.uid] = pod
+        self._emit("PodCreated", spec.name, "queued for scheduling")
+        return pod
+
+    def delete_pod(self, uid: str) -> None:
+        if uid not in self.pods:
+            raise NotFoundError(f"unknown pod uid {uid!r}")
+        pod = self.pods.pop(uid)
+        self._emit("PodDeleted", pod.name, f"was {pod.phase.value}")
+
+    def pod_by_name(self, name: str) -> Pod:
+        """Most recent active pod with the given spec name."""
+        candidates = [p for p in self.pods.values() if p.spec.name == name]
+        if not candidates:
+            raise NotFoundError(f"no pod named {name!r}")
+        return candidates[-1]
+
+    def mark_running(self, uid: str) -> None:
+        """Kubelet acknowledgement: scheduled pod started its containers."""
+        pod = self.pods[uid]
+        if pod.phase is not PodPhase.SCHEDULED:
+            raise OrchestrationError(
+                f"pod {pod.name} cannot run from phase {pod.phase.value}")
+        pod.phase = PodPhase.RUNNING
+
+    def mark_finished(self, uid: str, succeeded: bool = True) -> None:
+        """Terminal transition for batch pods."""
+        pod = self.pods[uid]
+        pod.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
+
+    def _evict(self, pod: Pod, reason: str) -> None:
+        pod.phase = PodPhase.PENDING
+        pod.node_name = None
+        pod.restarts += 1
+        pod.record(f"evicted: {reason}")
+        self._emit("PodEvicted", pod.name, reason)
+
+    # -- deployments -------------------------------------------------------------------
+
+    def create_deployment(self, deployment: Deployment) -> Deployment:
+        if deployment.name in self.deployments:
+            raise ValidationError(
+                f"duplicate deployment {deployment.name!r}")
+        self.deployments[deployment.name] = deployment
+        return deployment
+
+    def scale_deployment(self, name: str, replicas: int) -> None:
+        if name not in self.deployments:
+            raise NotFoundError(f"unknown deployment {name!r}")
+        if replicas < 0:
+            raise ValidationError("replica count must be non-negative")
+        self.deployments[name].replicas = replicas
+
+    def _deployment_pods(self, name: str) -> list[Pod]:
+        return [p for p in self.pods.values()
+                if p.spec.labels.get("deployment") == name
+                and p.phase in (PodPhase.PENDING, PodPhase.SCHEDULED,
+                                PodPhase.RUNNING)]
+
+    def _reconcile_deployments(self) -> None:
+        for deployment in self.deployments.values():
+            alive = self._deployment_pods(deployment.name)
+            missing = deployment.replicas - len(alive)
+            for _ in range(missing):
+                spec = PodSpec(
+                    name=deployment.next_pod_name(),
+                    request=deployment.template.request,
+                    labels={**deployment.template.labels,
+                            "deployment": deployment.name},
+                    node_selector=dict(deployment.template.node_selector),
+                    tolerations=list(deployment.template.tolerations),
+                    min_security_level=deployment.template
+                    .min_security_level,
+                )
+                self.create_pod(spec)
+            for pod in alive[deployment.replicas:] if missing < 0 else []:
+                self.delete_pod(pod.uid)
+
+    # -- reconciliation loop ------------------------------------------------------------
+
+    def reconcile(self) -> int:
+        """One control-loop pass; returns the number of pods scheduled."""
+        self._reconcile_deployments()
+        scheduled = 0
+        for pod in list(self.pods.values()):
+            if pod.phase is not PodPhase.PENDING:
+                continue
+            node, result = self.scheduler.select(
+                pod.spec, list(self.nodes.values()), self.node_free)
+            if node is None:
+                pod.record(f"unschedulable: {result.rejections}")
+                self._emit("FailedScheduling", pod.name,
+                           "; ".join(f"{k}: {v}" for k, v
+                                     in sorted(result.rejections.items())))
+                continue
+            pod.node_name = node.name
+            pod.phase = PodPhase.SCHEDULED
+            pod.record(f"bound to {node.name}")
+            self._emit("Scheduled", pod.name, f"bound to {node.name}")
+            scheduled += 1
+            if node.virtual:
+                for hook in self.offload_hooks:
+                    hook(pod, node)
+        return scheduled
+
+    # -- introspection -------------------------------------------------------------------
+
+    def pods_in_phase(self, phase: PodPhase) -> list[Pod]:
+        return [p for p in self.pods.values() if p.phase is phase]
+
+    def utilization(self) -> dict[str, float]:
+        """CPU allocation fraction per node."""
+        out = {}
+        for node in self.nodes.values():
+            free = self.node_free(node)
+            cap = max(1, node.capacity.cpu_millicores)
+            out[node.name] = 1.0 - free.cpu_millicores / cap
+        return out
+
+    def _emit(self, kind: str, obj: str, message: str) -> None:
+        event = ClusterEvent(kind=kind, object_name=obj, message=message)
+        self.events.append(event)
+        self.bus.publish(f"kube.{self.name}.{kind}", event)

@@ -1,0 +1,153 @@
+"""The kube scheduler: filter (predicates) then score (priorities).
+
+Follows the two-phase structure of the real kube-scheduler. Predicates
+eliminate infeasible nodes (resource fit, selector match, taint
+toleration, readiness, security capability); priorities rank the
+feasible ones (least-allocated balancing, label affinity, a penalty for
+LIQO virtual nodes so local capacity is preferred when equal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kube.objects import Node, PodSpec, ResourceRequest, security_rank
+
+
+@dataclass
+class FilterResult:
+    """Outcome of the predicate phase, with per-node rejection reasons."""
+
+    feasible: list[Node]
+    rejections: dict[str, str]
+
+
+Predicate = Callable[[PodSpec, Node, ResourceRequest], str | None]
+Priority = Callable[[PodSpec, Node, ResourceRequest], float]
+
+
+def predicate_node_ready(pod: PodSpec, node: Node,
+                         free: ResourceRequest) -> str | None:
+    if not node.ready:
+        return "node not ready"
+    return None
+
+
+def predicate_resources_fit(pod: PodSpec, node: Node,
+                            free: ResourceRequest) -> str | None:
+    if not pod.request.fits_within(free):
+        return (f"insufficient resources (free {free.cpu_millicores}m/"
+                f"{free.memory_bytes}B)")
+    return None
+
+
+def predicate_node_selector(pod: PodSpec, node: Node,
+                            free: ResourceRequest) -> str | None:
+    for key, value in pod.node_selector.items():
+        if node.labels.get(key) != value:
+            return f"selector {key}={value} unmatched"
+    return None
+
+
+def predicate_taints(pod: PodSpec, node: Node,
+                     free: ResourceRequest) -> str | None:
+    for taint in node.taints:
+        if taint.effect == "NoSchedule" and not pod.tolerates(taint):
+            return f"untolerated taint {taint.key}={taint.value}"
+    return None
+
+
+def predicate_security_level(pod: PodSpec, node: Node,
+                             free: ResourceRequest) -> str | None:
+    node_level = node.labels.get("security-level", "low")
+    if security_rank(node_level) < security_rank(pod.min_security_level):
+        return (f"security level {node_level} below required "
+                f"{pod.min_security_level}")
+    return None
+
+
+DEFAULT_PREDICATES: list[Predicate] = [
+    predicate_node_ready,
+    predicate_resources_fit,
+    predicate_node_selector,
+    predicate_taints,
+    predicate_security_level,
+]
+
+
+def priority_least_allocated(pod: PodSpec, node: Node,
+                             free: ResourceRequest) -> float:
+    """Prefer nodes with the most free capacity after placement."""
+    cpu_frac = ((free.cpu_millicores - pod.request.cpu_millicores)
+                / max(1, node.capacity.cpu_millicores))
+    mem_frac = ((free.memory_bytes - pod.request.memory_bytes)
+                / max(1, node.capacity.memory_bytes))
+    return (cpu_frac + mem_frac) / 2
+
+
+def priority_label_affinity(pod: PodSpec, node: Node,
+                            free: ResourceRequest) -> float:
+    """Small bonus per pod label the node shares (e.g. accelerator type)."""
+    shared = sum(1 for k, v in pod.labels.items()
+                 if node.labels.get(k) == v)
+    return 0.1 * shared
+
+
+def priority_prefer_local(pod: PodSpec, node: Node,
+                          free: ResourceRequest) -> float:
+    """Penalize LIQO virtual nodes so offloading needs a capacity reason."""
+    return -0.25 if node.virtual else 0.0
+
+
+DEFAULT_PRIORITIES: list[Priority] = [
+    priority_least_allocated,
+    priority_label_affinity,
+    priority_prefer_local,
+]
+
+
+class Scheduler:
+    """Pluggable filter-and-score scheduler."""
+
+    def __init__(self, predicates: list[Predicate] | None = None,
+                 priorities: list[Priority] | None = None):
+        self.predicates = list(predicates or DEFAULT_PREDICATES)
+        self.priorities = list(priorities or DEFAULT_PRIORITIES)
+
+    def filter(self, pod: PodSpec, nodes: list[Node],
+               free_fn: Callable[[Node], ResourceRequest]) -> FilterResult:
+        """Apply every predicate; collect rejection reasons."""
+        feasible = []
+        rejections = {}
+        for node in nodes:
+            free = free_fn(node)
+            reason = None
+            for predicate in self.predicates:
+                reason = predicate(pod, node, free)
+                if reason is not None:
+                    break
+            if reason is None:
+                feasible.append(node)
+            else:
+                rejections[node.name] = reason
+        return FilterResult(feasible=feasible, rejections=rejections)
+
+    def score(self, pod: PodSpec, node: Node,
+              free: ResourceRequest) -> float:
+        """Sum of all priority functions."""
+        return sum(priority(pod, node, free)
+                   for priority in self.priorities)
+
+    def select(self, pod: PodSpec, nodes: list[Node],
+               free_fn: Callable[[Node], ResourceRequest]
+               ) -> tuple[Node | None, FilterResult]:
+        """Pick the best feasible node (None when none fits)."""
+        result = self.filter(pod, nodes, free_fn)
+        if not result.feasible:
+            return None, result
+        best = max(
+            result.feasible,
+            key=lambda n: (self.score(pod, n, free_fn(n)), n.name),
+        )
+        return best, result

@@ -1,0 +1,168 @@
+"""Execution-time orchestration: periodic services with live re-placement.
+
+Paper Sec. IV: "MIRTO cognitive engine is responsible for high-level
+continuum orchestration both at deployment time (when a computation
+request is issued) and at execution time (while tasks are already
+running)", and CH2 demands applications be "dynamically updated for
+continuous optimization". This module adds the execution-time half: a
+:class:`ContinuousDeployment` runs an application periodically; after
+each period the engine compares the measured KPIs against the current
+placement's promise and against a re-optimized candidate, migrating when
+the predicted improvement exceeds a hysteresis threshold (migration has
+a cost, so flapping must not pay).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.continuum.infrastructure import Infrastructure
+from repro.continuum.workload import Application
+from repro.mirto.placement import (
+    ExecutionReport,
+    Placement,
+    PlacementConstraints,
+    estimate_placement_kpis,
+    execute_placement,
+    make_strategy,
+)
+
+
+@dataclass
+class PeriodRecord:
+    """KPIs of one execution period."""
+
+    period: int
+    makespan_s: float
+    energy_j: float
+    migrated: bool
+    placement: dict[str, str]
+
+
+@dataclass
+class MigrationPolicy:
+    """When is moving worth it?
+
+    ``improvement_threshold`` is the fractional predicted latency gain
+    required before migrating; ``migration_cost_s`` models state
+    transfer / container restart, charged to the period that migrates.
+    """
+
+    improvement_threshold: float = 0.15
+    migration_cost_s: float = 0.020
+    replan_strategy: str = "greedy"
+
+
+class ContinuousDeployment:
+    """One long-running service under execution-time orchestration."""
+
+    def __init__(self, application: Application,
+                 infrastructure: Infrastructure,
+                 constraints: PlacementConstraints | None = None,
+                 policy: MigrationPolicy | None = None,
+                 rng: random.Random | None = None):
+        self.application = application
+        self.infrastructure = infrastructure
+        self.constraints = constraints or PlacementConstraints()
+        self.policy = policy or MigrationPolicy()
+        self.rng = rng or random.Random(0)
+        self.history: list[PeriodRecord] = []
+        initial = make_strategy(self.policy.replan_strategy, self.rng)
+        self.placement = initial.place(application, infrastructure,
+                                       self.constraints)
+        self.migrations = 0
+
+    def _candidate(self) -> Placement:
+        """Re-optimize against the current infrastructure state."""
+        strategy = make_strategy(self.policy.replan_strategy, self.rng)
+        return strategy.place(self.application, self.infrastructure,
+                              self.constraints)
+
+    def run_period(self) -> PeriodRecord:
+        """Execute one period, then consider migrating for the next."""
+        report = execute_placement(
+            self.application, self.placement, self.infrastructure,
+            source_device=self.constraints.source_device)
+        migrated = self._maybe_migrate(report)
+        record = PeriodRecord(
+            period=len(self.history),
+            makespan_s=report.makespan_s,
+            energy_j=report.energy_j,
+            migrated=migrated,
+            placement=dict(self.placement.assignment),
+        )
+        self.history.append(record)
+        return record
+
+    def _maybe_migrate(self, report: ExecutionReport) -> bool:
+        candidate = self._candidate()
+        if candidate.assignment == self.placement.assignment:
+            return False
+        current_est, _ = estimate_placement_kpis(
+            self.application, self.placement, self.infrastructure,
+            self.constraints.source_device)
+        candidate_est, _ = estimate_placement_kpis(
+            self.application, candidate, self.infrastructure,
+            self.constraints.source_device)
+        gain = (current_est - candidate_est) / max(current_est, 1e-12)
+        if gain < self.policy.improvement_threshold:
+            return False
+        # Pay the migration cost in simulated time.
+        sim = self.infrastructure.sim
+        sim.run(until=sim.now + self.policy.migration_cost_s)
+        for task_name, new_device in candidate.assignment.items():
+            old_device = self.placement.assignment[task_name]
+            if old_device != new_device:
+                self.infrastructure.record_offload(old_device, new_device)
+        self.placement = Placement(candidate.assignment,
+                                   f"{candidate.strategy}+migrated")
+        self.migrations += 1
+        return True
+
+    def mean_makespan(self, last: int | None = None) -> float:
+        """Mean makespan over the last *last* periods (or all)."""
+        window = self.history[-last:] if last else self.history
+        if not window:
+            return 0.0
+        return sum(r.makespan_s for r in window) / len(window)
+
+
+def run_with_interference(deployment: ContinuousDeployment,
+                          periods: int,
+                          interfere_at: int | None = None,
+                          interference_device: str | None = None,
+                          interference_megaops: float = 5000.0,
+                          interference_tasks: int = 12
+                          ) -> list[PeriodRecord]:
+    """Drive *periods* periods, optionally injecting interference.
+
+    From period *interfere_at* onwards, *interference_tasks* background
+    feeder processes keep *interference_device* saturated (each feeder
+    immediately re-submits work when its task finishes) — the sustained
+    co-tenant load the execution-time orchestration should route around.
+    The feeders stop once the last period completes.
+    """
+    from repro.continuum.workload import Task
+    records = []
+    state = {"on": False, "counter": 0}
+
+    def feeder(device, tag):
+        while state["on"]:
+            state["counter"] += 1
+            yield deployment.infrastructure.sim.process(device.execute(
+                Task(f"interference-{tag}-{state['counter']}",
+                     megaops=interference_megaops)))
+
+    for period in range(periods):
+        if interfere_at is not None and period == interfere_at \
+                and interference_device is not None:
+            state["on"] = True
+            device = deployment.infrastructure.device(
+                interference_device)
+            sim = deployment.infrastructure.sim
+            for i in range(interference_tasks):
+                sim.process(feeder(device, i))
+        records.append(deployment.run_period())
+    state["on"] = False
+    return records

@@ -1,0 +1,221 @@
+"""Learning strategies of the MIRTO Manager (the KCL contribution).
+
+* **Federated learning** — FedAvg and FedProx over small numpy models,
+  "combining learned models from different agents ... allowing MIRTO
+  edge agents to evolve based on each other's experiences" (Sec. IV).
+  The canonical use is the operating-point model: each FPGA edge agent
+  learns to predict task latency from (megaops, operating-point
+  perf-scale, utilization) on its local traffic, and federation lets
+  agents generalize to workload regions they never saw locally.
+
+* **Q-learning** — the Network Manager's "Reinforcement Learning-based
+  strategy" (Sec. VI): a tabular agent deciding offload/route actions
+  from discretized congestion observations.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+
+class LinearModel:
+    """Ridge-regularized linear model trained by gradient descent.
+
+    Small on purpose: federated rounds exchange a handful of floats,
+    matching what constrained edge agents can afford.
+    """
+
+    def __init__(self, n_features: int, l2: float = 1e-4):
+        if n_features < 1:
+            raise ConfigurationError("model needs at least one feature")
+        self.weights = np.zeros(n_features + 1)  # bias last
+        self.l2 = l2
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(features)
+        return x @ self.weights[:-1] + self.weights[-1]
+
+    def loss(self, features: np.ndarray, targets: np.ndarray) -> float:
+        err = self.predict(features) - targets
+        return float(np.mean(err ** 2) + self.l2
+                     * np.sum(self.weights ** 2))
+
+    def gradient_step(self, features: np.ndarray, targets: np.ndarray,
+                      lr: float = 0.05,
+                      prox_center: np.ndarray | None = None,
+                      prox_mu: float = 0.0) -> None:
+        """One gradient step; FedProx adds a proximal pull to the
+        global weights."""
+        x = np.atleast_2d(features)
+        err = self.predict(x) - targets
+        grad_w = 2 * (x.T @ err) / len(err) + 2 * self.l2 \
+            * self.weights[:-1]
+        grad_b = 2 * float(np.mean(err)) + 2 * self.l2 * self.weights[-1]
+        grad = np.concatenate([grad_w, [grad_b]])
+        if prox_center is not None and prox_mu > 0:
+            grad = grad + prox_mu * (self.weights - prox_center)
+        self.weights = self.weights - lr * grad
+
+    def get_weights(self) -> np.ndarray:
+        return self.weights.copy()
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        if weights.shape != self.weights.shape:
+            raise ConfigurationError("weight shape mismatch")
+        self.weights = weights.copy()
+
+
+@dataclass
+class FederatedClient:
+    """One edge agent's local model plus its private dataset."""
+
+    name: str
+    model: LinearModel
+    features: np.ndarray
+    targets: np.ndarray
+
+    def local_epochs(self, epochs: int, lr: float,
+                     global_weights: np.ndarray | None = None,
+                     prox_mu: float = 0.0) -> None:
+        for _ in range(epochs):
+            self.model.gradient_step(self.features, self.targets, lr,
+                                     prox_center=global_weights,
+                                     prox_mu=prox_mu)
+
+    def local_loss(self) -> float:
+        return self.model.loss(self.features, self.targets)
+
+
+@dataclass
+class FederationRound:
+    """Metrics of one federated round."""
+
+    round_index: int
+    mean_client_loss: float
+    global_weights_norm: float
+
+
+class FederatedTrainer:
+    """FedAvg / FedProx coordinator across MIRTO edge agents."""
+
+    def __init__(self, clients: list[FederatedClient],
+                 algorithm: str = "fedavg", prox_mu: float = 0.1):
+        if not clients:
+            raise ConfigurationError("federation needs clients")
+        if algorithm not in ("fedavg", "fedprox"):
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        shapes = {c.model.weights.shape for c in clients}
+        if len(shapes) != 1:
+            raise ConfigurationError("client models must share a shape")
+        self.clients = clients
+        self.algorithm = algorithm
+        self.prox_mu = prox_mu
+        self.global_weights = clients[0].model.get_weights() * 0.0
+        self.history: list[FederationRound] = []
+
+    def round(self, local_epochs: int = 5, lr: float = 0.05) -> float:
+        """One federated round; returns the mean post-round loss."""
+        for client in self.clients:
+            client.model.set_weights(self.global_weights)
+            client.local_epochs(
+                local_epochs, lr,
+                global_weights=(self.global_weights
+                                if self.algorithm == "fedprox" else None),
+                prox_mu=self.prox_mu if self.algorithm == "fedprox"
+                else 0.0)
+        # Weighted average by dataset size (FedAvg aggregation).
+        total = sum(len(c.targets) for c in self.clients)
+        aggregate = np.zeros_like(self.global_weights)
+        for client in self.clients:
+            aggregate += client.model.get_weights() \
+                * (len(client.targets) / total)
+        self.global_weights = aggregate
+        for client in self.clients:
+            client.model.set_weights(self.global_weights)
+        mean_loss = float(np.mean([c.local_loss()
+                                   for c in self.clients]))
+        self.history.append(FederationRound(
+            round_index=len(self.history),
+            mean_client_loss=mean_loss,
+            global_weights_norm=float(np.linalg.norm(
+                self.global_weights))))
+        return mean_loss
+
+    def train(self, rounds: int, local_epochs: int = 5,
+              lr: float = 0.05) -> list[float]:
+        """Run several rounds; returns the loss trajectory."""
+        return [self.round(local_epochs, lr) for _ in range(rounds)]
+
+    def global_model(self, n_features: int) -> LinearModel:
+        model = LinearModel(n_features)
+        model.set_weights(self.global_weights)
+        return model
+
+
+def make_operating_point_dataset(rng: np.random.Generator, samples: int,
+                                 perf_scales: tuple[float, ...] = (
+                                     0.5, 1.0, 1.4),
+                                 megaops_range: tuple[float, float] = (
+                                     10.0, 2000.0),
+                                 noise: float = 0.02
+                                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic (features, latency) data for the operating-point model.
+
+    Ground truth: latency = megaops / (gops * perf_scale) with queueing
+    inflation from utilization — the same model the devices use, so a
+    well-trained predictor genuinely helps the Node Manager.
+    """
+    megaops = rng.uniform(*megaops_range, samples)
+    perf = rng.choice(perf_scales, samples)
+    utilization = rng.uniform(0.0, 0.9, samples)
+    base_gops = 2.0
+    latency = (megaops / 1e3) / (base_gops * perf) \
+        * (1.0 + 2.0 * utilization)
+    latency = latency * (1 + rng.normal(0, noise, samples))
+    features = np.stack([megaops / 1e3, 1.0 / perf, utilization], axis=1)
+    return features, latency
+
+
+class QLearningAgent:
+    """Tabular Q-learning (the Network Manager's RL strategy)."""
+
+    def __init__(self, n_states: int, n_actions: int, rng: random.Random,
+                 alpha: float = 0.2, gamma: float = 0.9,
+                 epsilon: float = 0.2, epsilon_decay: float = 0.995):
+        if n_states < 1 or n_actions < 1:
+            raise ConfigurationError("need states and actions")
+        self.n_states = n_states
+        self.n_actions = n_actions
+        self.rng = rng
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.epsilon_decay = epsilon_decay
+        self.q = [[0.0] * n_actions for _ in range(n_states)]
+
+    def act(self, state: int, explore: bool = True) -> int:
+        """Epsilon-greedy action selection."""
+        if explore and self.rng.random() < self.epsilon:
+            return self.rng.randrange(self.n_actions)
+        row = self.q[state]
+        best = max(row)
+        candidates = [a for a, v in enumerate(row) if v == best]
+        return candidates[0]
+
+    def learn(self, state: int, action: int, reward: float,
+              next_state: int) -> None:
+        """One Bellman update."""
+        best_next = max(self.q[next_state])
+        target = reward + self.gamma * best_next
+        self.q[state][action] += self.alpha \
+            * (target - self.q[state][action])
+        self.epsilon *= self.epsilon_decay
+
+    def policy(self) -> list[int]:
+        """Greedy action per state."""
+        return [self.act(s, explore=False) for s in range(self.n_states)]

@@ -1,0 +1,169 @@
+"""The MAPE-K control loop of the MIRTO Cognitive Engine.
+
+Paper Sec. IV: "dynamic orchestration entails four steps executed in
+loops [17], [18]: 1) sensing of internal and external triggers; 2)
+evaluation of aggregated local and global information; 3) decision for
+resource allocation/configuration to improve KPIs; and 4)
+reconfiguration/reallocation." The Knowledge (K) part is the shared KB.
+Each :meth:`MapeLoop.iterate` runs one full cycle and records per-stage
+accounting for the Fig. 3 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.continuum.infrastructure import Infrastructure
+from repro.kb.registry import ResourceRegistry
+from repro.mirto.manager import MirtoManager
+from repro.monitoring.monitors import InfrastructureMonitor
+
+
+@dataclass
+class Trigger:
+    """Something the Analyze stage decided needs a reaction."""
+
+    kind: str  # "overload" | "underload" | "trust-drop"
+    component: str
+    detail: str
+
+
+@dataclass
+class PlannedAction:
+    """A decision the Plan stage produced."""
+
+    kind: str  # "set-operating-point" | "flag-reallocation"
+    component: str
+    parameter: str
+
+
+@dataclass
+class LoopRecord:
+    """Accounting for one MAPE iteration."""
+
+    iteration: int
+    sensed_components: int
+    triggers: list[Trigger]
+    actions: list[PlannedAction]
+    executed: int
+
+
+class MapeLoop:
+    """Monitor-Analyze-Plan-Execute over the shared knowledge base."""
+
+    def __init__(self, infrastructure: Infrastructure,
+                 registry: ResourceRegistry,
+                 manager: MirtoManager,
+                 overload_threshold: float = 0.85,
+                 underload_threshold: float = 0.15,
+                 trust_threshold: float = 0.3):
+        self.infrastructure = infrastructure
+        self.registry = registry
+        self.manager = manager
+        self.monitor = InfrastructureMonitor("mape")
+        self.overload_threshold = overload_threshold
+        self.underload_threshold = underload_threshold
+        self.trust_threshold = trust_threshold
+        self.records: list[LoopRecord] = []
+
+    # -- the four stages -----------------------------------------------------
+
+    def sense(self) -> dict[str, dict]:
+        """Stage 1: pull telemetry from every device into the KB."""
+        samples = {}
+        now = self.infrastructure.sim.now
+        for device in self.infrastructure.devices.values():
+            sample = self.monitor.sample_device(now, device)
+            self.registry.update_status(device.name, {
+                "utilization": sample["utilization"],
+                "queue_length": sample["queue_length"],
+                "operating_point": device.operating_point.name,
+            })
+            samples[device.name] = sample
+        return samples
+
+    def analyze(self, samples: dict[str, dict]) -> list[Trigger]:
+        """Stage 2: evaluate aggregated local and global information."""
+        triggers = []
+        for name, sample in samples.items():
+            utilization = sample["utilization"]
+            if utilization > self.overload_threshold:
+                triggers.append(Trigger(
+                    "overload", name,
+                    f"utilization {utilization:.2f} > "
+                    f"{self.overload_threshold}"))
+            elif utilization < self.underload_threshold and \
+                    sample["queue_length"] == 0:
+                triggers.append(Trigger(
+                    "underload", name,
+                    f"utilization {utilization:.2f} < "
+                    f"{self.underload_threshold}"))
+        for name in self.infrastructure.devices:
+            trust = self.manager.security.trust.trust(name)
+            if trust < self.trust_threshold:
+                triggers.append(Trigger(
+                    "trust-drop", name, f"trust {trust:.2f}"))
+        return triggers
+
+    def plan(self, triggers: list[Trigger]) -> list[PlannedAction]:
+        """Stage 3: decide configuration changes per trigger."""
+        actions = []
+        for trigger in triggers:
+            device = self.infrastructure.devices.get(trigger.component)
+            if trigger.kind == "overload" and device is not None:
+                if "performance" in device.operating_points:
+                    actions.append(PlannedAction(
+                        "set-operating-point", trigger.component,
+                        "performance"))
+                actions.append(PlannedAction(
+                    "flag-reallocation", trigger.component, "offload"))
+            elif trigger.kind == "underload" and device is not None:
+                if "low-power" in device.operating_points:
+                    actions.append(PlannedAction(
+                        "set-operating-point", trigger.component,
+                        "low-power"))
+            elif trigger.kind == "trust-drop":
+                actions.append(PlannedAction(
+                    "flag-reallocation", trigger.component, "avoid"))
+        return actions
+
+    def execute(self, actions: list[PlannedAction]) -> int:
+        """Stage 4: apply reconfigurations; returns how many applied."""
+        executed = 0
+        # Clear reallocation flags that this cycle no longer justifies,
+        # so devices rejoin the placement pool once they recover.
+        flagged_now = {a.component for a in actions
+                       if a.kind == "flag-reallocation"}
+        for key in list(self.registry.kb.range("status/reallocation/")):
+            component = key[len("status/reallocation/"):]
+            if component not in flagged_now:
+                self.registry.kb.delete(key)
+        for action in actions:
+            if action.kind == "set-operating-point":
+                device = self.infrastructure.device(action.component)
+                if device.operating_point.name != action.parameter:
+                    self.manager.node_manager.apply_operating_point(
+                        action.component, action.parameter)
+                    executed += 1
+            elif action.kind == "flag-reallocation":
+                self.registry.update_status(
+                    f"reallocation/{action.component}",
+                    {"advice": action.parameter})
+                executed += 1
+        return executed
+
+    def iterate(self) -> LoopRecord:
+        """One full MAPE cycle."""
+        samples = self.sense()
+        triggers = self.analyze(samples)
+        actions = self.plan(triggers)
+        executed = self.execute(actions)
+        record = LoopRecord(
+            iteration=len(self.records),
+            sensed_components=len(samples),
+            triggers=triggers,
+            actions=actions,
+            executed=executed,
+        )
+        self.records.append(record)
+        return record

@@ -1,0 +1,239 @@
+"""Swarm-intelligence optimizers (the LAKE contribution in the paper).
+
+Two population-based optimizers used by the MIRTO Manager's cognitive
+placement strategies:
+
+* :class:`ParticleSwarmOptimizer` — continuous PSO, used over relaxed
+  assignment vectors (each task gets a score per device; the argmax
+  decodes to a placement);
+* :class:`AntColonyOptimizer` — discrete ACO over task-to-device choices
+  with pheromone reinforcement, a natural fit for combinatorial
+  placement.
+
+Both are generic: they optimize a user-supplied objective and are also
+exercised directly by unit tests on analytic functions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class OptimizationTrace:
+    """Best objective value per iteration (for convergence reporting)."""
+
+    best_per_iteration: list[float] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        if len(self.best_per_iteration) < 2:
+            return False
+        return self.best_per_iteration[-1] < self.best_per_iteration[0]
+
+
+class ParticleSwarmOptimizer:
+    """Canonical PSO minimizing ``objective(position)``.
+
+    Positions are real vectors in a box; inertia/cognitive/social
+    parameters follow the standard constriction-free setup.
+    """
+
+    def __init__(self, dimensions: int, rng: random.Random,
+                 particles: int = 20, inertia: float = 0.7,
+                 cognitive: float = 1.5, social: float = 1.5,
+                 bounds: tuple[float, float] = (-1.0, 1.0)):
+        if dimensions < 1 or particles < 2:
+            raise ConfigurationError(
+                "PSO needs >=1 dimension and >=2 particles")
+        if bounds[0] >= bounds[1]:
+            raise ConfigurationError("invalid PSO bounds")
+        self.dimensions = dimensions
+        self.rng = rng
+        self.num_particles = particles
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.bounds = bounds
+        self.trace = OptimizationTrace()
+
+    def minimize(self, objective: Callable[[list[float]], float],
+                 iterations: int = 50) -> tuple[list[float], float]:
+        """Run PSO; returns (best position, best value)."""
+        lo, hi = self.bounds
+        span = hi - lo
+        positions = [[self.rng.uniform(lo, hi)
+                      for _ in range(self.dimensions)]
+                     for _ in range(self.num_particles)]
+        velocities = [[self.rng.uniform(-span, span) * 0.1
+                       for _ in range(self.dimensions)]
+                      for _ in range(self.num_particles)]
+        personal_best = [list(p) for p in positions]
+        personal_value = [objective(p) for p in positions]
+        best_index = min(range(self.num_particles),
+                         key=lambda i: personal_value[i])
+        global_best = list(personal_best[best_index])
+        global_value = personal_value[best_index]
+        for _ in range(iterations):
+            for i in range(self.num_particles):
+                for d in range(self.dimensions):
+                    r1, r2 = self.rng.random(), self.rng.random()
+                    velocities[i][d] = (
+                        self.inertia * velocities[i][d]
+                        + self.cognitive * r1
+                        * (personal_best[i][d] - positions[i][d])
+                        + self.social * r2
+                        * (global_best[d] - positions[i][d]))
+                    positions[i][d] = min(hi, max(
+                        lo, positions[i][d] + velocities[i][d]))
+                value = objective(positions[i])
+                if value < personal_value[i]:
+                    personal_value[i] = value
+                    personal_best[i] = list(positions[i])
+                    if value < global_value:
+                        global_value = value
+                        global_best = list(positions[i])
+            self.trace.best_per_iteration.append(global_value)
+        return global_best, global_value
+
+
+class FireflyOptimizer:
+    """Firefly algorithm: attraction towards brighter (better) peers.
+
+    Each firefly moves towards every brighter firefly with strength
+    decaying in squared distance (``beta * exp(-gamma r^2)``), plus a
+    small random walk. A third population-based strategy flavour for
+    MIRTO agents alongside PSO and ACO.
+    """
+
+    def __init__(self, dimensions: int, rng: random.Random,
+                 fireflies: int = 15, beta: float = 1.0,
+                 gamma: float = 1.0, alpha: float = 0.2,
+                 alpha_decay: float = 0.97,
+                 bounds: tuple[float, float] = (-1.0, 1.0)):
+        if dimensions < 1 or fireflies < 2:
+            raise ConfigurationError(
+                "firefly needs >=1 dimension and >=2 fireflies")
+        if bounds[0] >= bounds[1]:
+            raise ConfigurationError("invalid firefly bounds")
+        self.dimensions = dimensions
+        self.rng = rng
+        self.num_fireflies = fireflies
+        self.beta = beta
+        self.gamma = gamma
+        self.alpha = alpha
+        self.alpha_decay = alpha_decay
+        self.bounds = bounds
+        self.trace = OptimizationTrace()
+
+    def minimize(self, objective: Callable[[list[float]], float],
+                 iterations: int = 40) -> tuple[list[float], float]:
+        """Run the firefly algorithm; returns (best position, value)."""
+        lo, hi = self.bounds
+        span = hi - lo
+        positions = [[self.rng.uniform(lo, hi)
+                      for _ in range(self.dimensions)]
+                     for _ in range(self.num_fireflies)]
+        brightness = [objective(p) for p in positions]
+        alpha = self.alpha
+        for _ in range(iterations):
+            for i in range(self.num_fireflies):
+                for j in range(self.num_fireflies):
+                    if brightness[j] >= brightness[i]:
+                        continue  # j is not brighter (lower is better)
+                    r_sq = sum((a - b) ** 2 for a, b in
+                               zip(positions[i], positions[j]))
+                    attraction = self.beta * math.exp(-self.gamma * r_sq)
+                    for d in range(self.dimensions):
+                        step = (attraction
+                                * (positions[j][d] - positions[i][d])
+                                + alpha * span
+                                * (self.rng.random() - 0.5))
+                        positions[i][d] = min(hi, max(
+                            lo, positions[i][d] + step))
+                    brightness[i] = objective(positions[i])
+            alpha *= self.alpha_decay
+            self.trace.best_per_iteration.append(min(brightness))
+        best_index = min(range(self.num_fireflies),
+                         key=lambda k: brightness[k])
+        return positions[best_index], brightness[best_index]
+
+
+class AntColonyOptimizer:
+    """ACO over sequential discrete choices.
+
+    Each of ``n_decisions`` positions picks one of ``n_options``;
+    ``objective(choices)`` scores a complete assignment (lower is
+    better). Pheromones reinforce good assignments; evaporation keeps
+    exploration alive.
+    """
+
+    def __init__(self, n_decisions: int, n_options: int,
+                 rng: random.Random, ants: int = 20,
+                 evaporation: float = 0.3, alpha: float = 1.0,
+                 beta: float = 0.0,
+                 heuristic: Sequence[Sequence[float]] | None = None):
+        if n_decisions < 1 or n_options < 1:
+            raise ConfigurationError("ACO needs decisions and options")
+        if not 0 < evaporation < 1:
+            raise ConfigurationError("evaporation must be in (0, 1)")
+        self.n_decisions = n_decisions
+        self.n_options = n_options
+        self.rng = rng
+        self.ants = ants
+        self.evaporation = evaporation
+        self.alpha = alpha
+        self.beta = beta
+        self.heuristic = heuristic
+        self.pheromone = [[1.0] * n_options for _ in range(n_decisions)]
+        self.trace = OptimizationTrace()
+
+    def _pick(self, decision: int) -> int:
+        weights = []
+        for option in range(self.n_options):
+            weight = self.pheromone[decision][option] ** self.alpha
+            if self.heuristic is not None and self.beta > 0:
+                weight *= max(self.heuristic[decision][option],
+                              1e-12) ** self.beta
+            weights.append(weight)
+        total = sum(weights)
+        threshold = self.rng.random() * total
+        cumulative = 0.0
+        for option, weight in enumerate(weights):
+            cumulative += weight
+            if cumulative >= threshold:
+                return option
+        return self.n_options - 1
+
+    def minimize(self, objective: Callable[[list[int]], float],
+                 iterations: int = 40) -> tuple[list[int], float]:
+        """Run ACO; returns (best choice vector, best value)."""
+        global_best: list[int] | None = None
+        global_value = math.inf
+        for _ in range(iterations):
+            solutions = []
+            for _ in range(self.ants):
+                choices = [self._pick(d) for d in range(self.n_decisions)]
+                value = objective(choices)
+                solutions.append((value, choices))
+                if value < global_value:
+                    global_value = value
+                    global_best = list(choices)
+            # Evaporate, then deposit proportional to solution quality.
+            for decision in range(self.n_decisions):
+                for option in range(self.n_options):
+                    self.pheromone[decision][option] *= \
+                        (1 - self.evaporation)
+            solutions.sort(key=lambda pair: pair[0])
+            for rank, (value, choices) in enumerate(solutions[:5]):
+                deposit = 1.0 / (1.0 + value) / (1 + rank)
+                for decision, option in enumerate(choices):
+                    self.pheromone[decision][option] += deposit
+            self.trace.best_per_iteration.append(global_value)
+        assert global_best is not None
+        return global_best, global_value

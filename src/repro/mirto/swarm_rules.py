@@ -1,0 +1,123 @@
+"""Rule-based swarm placement: FREVO-evolved local rules inside MIRTO.
+
+Closes the loop the paper draws across pillars: "FREVO generates the
+local rules for the swarm agents to be used within the MIRTO Cognitive
+Engine" (Sec. V) and "Modelio is used to synthesize the swarm agents to
+be included in the MIRTO Manager ... from the local rules". A
+:class:`RuleBasedPlacement` strategy scores each eligible device with a
+:class:`~repro.dpe.frevo.SwarmRule` over *locally observable* signals
+(utilization, estimated latency, estimated energy, trust) — no global
+optimization, just the swarm-agent decision rule — and
+:func:`evolve_placement_rule` runs the FREVO loop with a simulation-
+in-the-loop fitness (the DynAA role).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.continuum.infrastructure import Infrastructure
+from repro.continuum.workload import Application
+from repro.dpe.frevo import RuleEvolver, SwarmRule
+from repro.dpe.modeling import ScenarioModel
+from repro.mirto.placement import (
+    Placement,
+    PlacementConstraints,
+    PlacementStrategy,
+    estimate_placement_kpis,
+)
+
+#: A sensible hand-written rule, the baseline evolution must beat.
+DEFAULT_RULE = SwarmRule(
+    utilization_weight=0.3,
+    latency_weight=0.6,
+    energy_weight=0.1,
+    trust_weight=0.2,
+    exploration=0.0,
+)
+
+
+class RuleBasedPlacement(PlacementStrategy):
+    """Each task is placed by the swarm agent's local scoring rule.
+
+    Unlike the PSO/ACO strategies, this performs *no* global search: it
+    evaluates the rule once per (task, device) pair on local signals,
+    which is what a decentralized swarm agent can afford.
+    """
+
+    name = "swarm-rule"
+
+    def __init__(self, rule: SwarmRule | None = None,
+                 rng: random.Random | None = None):
+        self.rule = rule or DEFAULT_RULE
+        self.rng = rng or random.Random(0)
+
+    def place(self, application, infrastructure, constraints) -> Placement:
+        assignment: dict[str, str] = {}
+        # Track load the swarm itself creates during this placement so
+        # the utilization signal reflects its own earlier decisions.
+        local_load: dict[str, float] = {
+            name: device.utilization()
+            for name, device in infrastructure.devices.items()
+        }
+        for task in application.tasks:
+            devices = self._eligible_or_raise(task, infrastructure,
+                                              constraints)
+            if self.rule.exploration > 0 and \
+                    self.rng.random() < self.rule.exploration:
+                chosen = self.rng.choice(devices)
+            else:
+                def score(device):
+                    latency = device.estimate_duration(task)
+                    if constraints.source_device is not None and \
+                            not application.predecessors(task.name) and \
+                            constraints.source_device != device.name:
+                        latency += infrastructure.network \
+                            .estimate_transfer_time(
+                                constraints.source_device, device.name,
+                                task.input_bytes)
+                    return self.rule.score(
+                        utilization=local_load[device.name],
+                        latency_s=latency,
+                        energy_j=device.estimate_energy(task),
+                        trust=constraints.trusted.get(device.name, 1.0),
+                    )
+                chosen = max(devices, key=lambda d: (score(d), d.name))
+            assignment[task.name] = chosen.name
+            # One queued task's worth of load on the chosen device.
+            local_load[chosen.name] += 1.0 / max(1, chosen.spec.cores)
+        return Placement(assignment, self.name)
+
+
+def evolve_placement_rule(scenario: ScenarioModel,
+                          infrastructure_factory,
+                          seed: int = 0, generations: int = 12,
+                          sessions_per_eval: int = 2
+                          ) -> tuple[SwarmRule, float, RuleEvolver]:
+    """FREVO loop: evolve rule weights against simulated KPIs.
+
+    ``infrastructure_factory()`` must return a fresh
+    :class:`Infrastructure` per evaluation (the DynAA simulation).
+    Fitness is the negative mean estimated makespan over
+    *sessions_per_eval* placements, so higher is better.
+    """
+    application = scenario.to_application()
+
+    def fitness(rule: SwarmRule) -> float:
+        infrastructure = infrastructure_factory()
+        constraints = PlacementConstraints(
+            min_security_level=scenario.min_security_level)
+        strategy = RuleBasedPlacement(rule, random.Random(seed))
+        total = 0.0
+        for _ in range(sessions_per_eval):
+            placement = strategy.place(application, infrastructure,
+                                       constraints)
+            latency, energy = estimate_placement_kpis(
+                application, placement, infrastructure)
+            total += latency + 0.05 * energy
+        return -total / sessions_per_eval
+
+    evolver = RuleEvolver(fitness, random.Random(seed),
+                          generations=generations)
+    best_rule, best_fitness = evolver.evolve()
+    return best_rule, best_fitness, evolver

@@ -1,0 +1,33 @@
+"""Monitoring and observability (Table I, Monitoring row).
+
+The paper classifies monitors into three kinds, all reproduced here:
+
+1. **Application monitoring** — status of the application, to identify
+   underperformance not related to network/devices
+   (:class:`ApplicationMonitor`);
+2. **Telemetry monitoring** — connectivity status and information loss
+   (:class:`TelemetryMonitor`);
+3. **Infrastructure and resource monitoring** — status of the components
+   (:class:`InfrastructureMonitor`).
+
+All monitors append to :class:`MetricSeries` ring buffers, publish
+samples on the event bus, and can raise threshold alerts. Observability
+across the continuum comes from pushing samples into the shared
+Knowledge Base via a :class:`ResourceRegistry`.
+"""
+
+from repro.monitoring.metrics import MetricSeries, MetricStats, Alert
+from repro.monitoring.monitors import (
+    ApplicationMonitor,
+    InfrastructureMonitor,
+    TelemetryMonitor,
+)
+
+__all__ = [
+    "MetricSeries",
+    "MetricStats",
+    "Alert",
+    "ApplicationMonitor",
+    "InfrastructureMonitor",
+    "TelemetryMonitor",
+]

@@ -1,0 +1,137 @@
+"""The three monitor kinds of the EU-CEI Monitoring building block."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.events import EventBus
+from repro.continuum.devices import Device
+from repro.monitoring.metrics import Alert, MetricSeries
+from repro.net.topology import Network
+
+
+class _MonitorBase:
+    """Shared plumbing: named series registry + bus publication."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, bus: EventBus | None = None,
+                 retention: int = 1024):
+        self.name = name
+        self.bus = bus
+        self.retention = retention
+        self.series: dict[str, MetricSeries] = {}
+
+    def metric(self, metric_name: str, alert_above: float | None = None,
+               alert_below: float | None = None) -> MetricSeries:
+        """Get-or-create a metric series owned by this monitor."""
+        if metric_name not in self.series:
+            self.series[metric_name] = MetricSeries(
+                f"{self.name}.{metric_name}", retention=self.retention,
+                alert_above=alert_above, alert_below=alert_below)
+        return self.series[metric_name]
+
+    def _record(self, metric_name: str, time_s: float,
+                value: float) -> Alert | None:
+        series = self.metric(metric_name)
+        alert = series.record(time_s, value)
+        if self.bus is not None:
+            self.bus.publish(
+                f"metrics.{self.kind}.{self.name}.{metric_name}",
+                {"time_s": time_s, "value": value})
+            if alert is not None:
+                self.bus.publish(f"alerts.{self.kind}.{self.name}", alert)
+        return alert
+
+    def all_alerts(self) -> list[Alert]:
+        return [a for s in self.series.values() for a in s.alerts]
+
+
+class ApplicationMonitor(_MonitorBase):
+    """Tracks per-application KPIs: end-to-end latency, deadline misses,
+    throughput — "underperformance issues not related to network/devices"."""
+
+    kind = "application"
+
+    def record_completion(self, time_s: float, latency_s: float,
+                          deadline_s: float | None = None) -> None:
+        """Log one application-instance completion."""
+        self._record("latency_s", time_s, latency_s)
+        if deadline_s is not None:
+            self._record("deadline_miss", time_s,
+                         1.0 if latency_s > deadline_s else 0.0)
+
+    def record_throughput(self, time_s: float,
+                          completions_per_s: float) -> None:
+        self._record("throughput", time_s, completions_per_s)
+
+    def miss_rate(self) -> float:
+        """Fraction of completions that missed their deadline."""
+        series = self.series.get("deadline_miss")
+        if not series or not len(series):
+            return 0.0
+        values = [v for _, v in series.samples]
+        return sum(values) / len(values)
+
+
+class TelemetryMonitor(_MonitorBase):
+    """Tracks connectivity status and information loss on the network."""
+
+    kind = "telemetry"
+
+    def record_message(self, time_s: float, delivered: bool,
+                       latency_s: float | None = None) -> None:
+        self._record("delivered", time_s, 1.0 if delivered else 0.0)
+        if delivered and latency_s is not None:
+            self._record("message_latency_s", time_s, latency_s)
+
+    def sample_network(self, time_s: float, network: Network) -> None:
+        """Snapshot per-link load into the series."""
+        for link in network.links:
+            key = f"link_{link.a}-{link.b}_bytes"
+            self._record(key, time_s, float(link.bytes_carried))
+
+    def loss_rate(self) -> float:
+        """Fraction of messages not delivered."""
+        series = self.series.get("delivered")
+        if not series or not len(series):
+            return 0.0
+        values = [v for _, v in series.samples]
+        return 1.0 - sum(values) / len(values)
+
+
+class InfrastructureMonitor(_MonitorBase):
+    """Tracks component status: utilization, energy, queue depth, PMCs.
+
+    The paper notes FPGA edge devices are "already instrumented to
+    support basic runtime monitoring through performance monitoring
+    counters"; :meth:`sample_device` reads exactly those counters.
+    """
+
+    kind = "infrastructure"
+
+    def sample_device(self, time_s: float, device: Device) -> dict[str, Any]:
+        """Pull one telemetry sample from a device into the series."""
+        sample = device.telemetry()
+        for key in ("utilization", "queue_length", "energy_j"):
+            self._record(f"{device.name}.{key}", time_s, sample[key])
+        # PMC-derived counters for reconfigurable devices.
+        if device.spec.reconfig_regions > 0:
+            self._record(f"{device.name}.reconfigurations", time_s,
+                         sample["reconfigurations"])
+        return sample
+
+    def device_utilization(self, device_name: str) -> float | None:
+        series = self.series.get(f"{device_name}.utilization")
+        return series.latest() if series else None
+
+    def overloaded_devices(self, threshold: float = 0.9) -> list[str]:
+        """Device names whose latest utilization exceeds *threshold*."""
+        result = []
+        for key, series in self.series.items():
+            if key.endswith(".utilization"):
+                latest = series.latest()
+                if latest is not None and latest > threshold:
+                    result.append(key[: -len(".utilization")])
+        return sorted(result)

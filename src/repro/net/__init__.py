@@ -1,0 +1,32 @@
+"""Network substrate: topology, links, message transfer, protocols, slicing.
+
+Implements the EU-CEI *Network* building block for the simulated
+continuum: a latency/bandwidth-annotated topology over which components
+exchange protocol-framed messages, plus network slicing for reserved
+capacity (paper Table I, Network row).
+"""
+
+from repro.net.topology import Link, Network, TransferResult
+from repro.net.protocols import (
+    Message,
+    ProtocolAdapter,
+    HttpAdapter,
+    MqttAdapter,
+    CoapAdapter,
+    PROTOCOLS,
+)
+from repro.net.slicing import NetworkSlice, SliceManager
+
+__all__ = [
+    "Link",
+    "Network",
+    "TransferResult",
+    "Message",
+    "ProtocolAdapter",
+    "HttpAdapter",
+    "MqttAdapter",
+    "CoapAdapter",
+    "PROTOCOLS",
+    "NetworkSlice",
+    "SliceManager",
+]

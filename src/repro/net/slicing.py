@@ -1,0 +1,94 @@
+"""Network slicing: reserved bandwidth shares for tenants.
+
+Table I (Network row) names network slicing among the connectivity
+activities. A :class:`NetworkSlice` reserves a fraction of capacity on
+each link along a path; the :class:`SliceManager` enforces that reserved
+fractions never exceed 100% per link and computes the bandwidth actually
+available to a slice or to best-effort traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import CapacityError, NotFoundError
+from repro.net.topology import Network
+
+
+@dataclass
+class NetworkSlice:
+    """A reservation of *fraction* of link capacity along *path_links*."""
+
+    name: str
+    tenant: str
+    fraction: float
+    path_links: list[tuple[str, str]]
+
+    def __post_init__(self):
+        if not 0 < self.fraction <= 1:
+            raise CapacityError(
+                f"slice {self.name}: fraction must be in (0, 1]"
+            )
+
+
+class SliceManager:
+    """Creates, tracks and releases network slices on a topology."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.slices: dict[str, NetworkSlice] = {}
+        # Reserved fraction per link key.
+        self._reserved: dict[tuple[str, str], float] = {}
+
+    def reserved_fraction(self, a: str, b: str) -> float:
+        """Total fraction of the (a, b) link currently reserved."""
+        return self._reserved.get(tuple(sorted((a, b))), 0.0)
+
+    def create_slice(self, name: str, tenant: str, src: str, dst: str,
+                     fraction: float) -> NetworkSlice:
+        """Reserve *fraction* of every link on the src->dst path.
+
+        Raises :class:`CapacityError` when any link lacks headroom; in
+        that case nothing is reserved (all-or-nothing admission).
+        """
+        if name in self.slices:
+            raise CapacityError(f"slice name {name!r} already in use")
+        links = self.network.path_links(src, dst)
+        keys = [link.key() for link in links]
+        for key in keys:
+            if self._reserved.get(key, 0.0) + fraction > 1.0 + 1e-9:
+                raise CapacityError(
+                    f"slice {name}: link {key} has only "
+                    f"{1.0 - self._reserved.get(key, 0.0):.0%} free"
+                )
+        for key in keys:
+            self._reserved[key] = self._reserved.get(key, 0.0) + fraction
+        net_slice = NetworkSlice(name, tenant, fraction, keys)
+        self.slices[name] = net_slice
+        return net_slice
+
+    def release_slice(self, name: str) -> None:
+        """Release a slice's reservations."""
+        if name not in self.slices:
+            raise NotFoundError(f"unknown slice {name!r}")
+        net_slice = self.slices.pop(name)
+        for key in net_slice.path_links:
+            self._reserved[key] = max(
+                0.0, self._reserved.get(key, 0.0) - net_slice.fraction
+            )
+
+    def slice_bandwidth(self, name: str) -> float:
+        """Guaranteed end-to-end bandwidth of slice *name* (bottleneck)."""
+        if name not in self.slices:
+            raise NotFoundError(f"unknown slice {name!r}")
+        net_slice = self.slices[name]
+        bandwidths = []
+        for a, b in net_slice.path_links:
+            link = self.network.link(a, b)
+            bandwidths.append(link.bandwidth_bps * net_slice.fraction)
+        return min(bandwidths) if bandwidths else 0.0
+
+    def best_effort_bandwidth(self, a: str, b: str) -> float:
+        """Capacity left for unreserved traffic on the (a, b) link."""
+        link = self.network.link(a, b)
+        return link.bandwidth_bps * (1.0 - self.reserved_fraction(a, b))

@@ -1,0 +1,176 @@
+"""Network topology and message-transfer model.
+
+The topology is an undirected graph (networkx) of named hosts connected
+by :class:`Link`s with latency and bandwidth. Transfers follow the
+lowest-latency path; per-link bandwidth is shared fairly among concurrent
+flows, approximated by sampling the number of active flows when the
+transfer starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.errors import ConfigurationError, NotFoundError
+from repro.continuum.simulator import Simulator
+
+
+@dataclass
+class Link:
+    """A bidirectional network link."""
+
+    a: str
+    b: str
+    latency_s: float
+    bandwidth_bps: float
+    active_flows: int = 0
+    bytes_carried: int = 0
+
+    def __post_init__(self):
+        if self.latency_s < 0:
+            raise ConfigurationError("link latency must be non-negative")
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+
+    def key(self) -> tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying this link."""
+        return tuple(sorted((self.a, self.b)))  # type: ignore[return-value]
+
+    def effective_bandwidth(self) -> float:
+        """Bandwidth share for a new flow given current contention."""
+        return self.bandwidth_bps / max(1, self.active_flows + 1)
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one message transfer."""
+
+    src: str
+    dst: str
+    payload_bytes: int
+    wire_bytes: int
+    start_s: float
+    end_s: float
+    hops: int
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Network:
+    """The continuum's communication fabric."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.graph = nx.Graph()
+        self._links: dict[tuple[str, str], Link] = {}
+        self.transfers: list[TransferResult] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add_host(self, name: str, layer: str = "unknown") -> None:
+        """Register a host. Re-adding an existing host is a no-op."""
+        if name not in self.graph:
+            self.graph.add_node(name, layer=layer)
+
+    def add_link(self, a: str, b: str, latency_s: float,
+                 bandwidth_bps: float) -> Link:
+        """Connect hosts *a* and *b* (hosts are auto-registered)."""
+        if a == b:
+            raise ConfigurationError("self-links are not allowed")
+        self.add_host(a)
+        self.add_host(b)
+        link = Link(a, b, latency_s, bandwidth_bps)
+        self._links[link.key()] = link
+        self.graph.add_edge(a, b, latency=latency_s)
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between *a* and *b* (order-insensitive)."""
+        key = tuple(sorted((a, b)))
+        if key not in self._links:
+            raise NotFoundError(f"no link between {a!r} and {b!r}")
+        return self._links[key]  # type: ignore[index]
+
+    @property
+    def links(self) -> list[Link]:
+        """All links in the topology."""
+        return list(self._links.values())
+
+    # -- path queries -----------------------------------------------------------------
+
+    def path(self, src: str, dst: str) -> list[str]:
+        """Lowest-latency host path from *src* to *dst* (inclusive)."""
+        for host in (src, dst):
+            if host not in self.graph:
+                raise NotFoundError(f"unknown host {host!r}")
+        try:
+            return nx.shortest_path(self.graph, src, dst, weight="latency")
+        except nx.NetworkXNoPath as exc:
+            raise NotFoundError(f"no path from {src!r} to {dst!r}") from exc
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """Links along the lowest-latency path."""
+        hosts = self.path(src, dst)
+        return [self.link(a, b) for a, b in zip(hosts, hosts[1:])]
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of propagation latencies along the path."""
+        return sum(link.latency_s for link in self.path_links(src, dst))
+
+    def estimate_transfer_time(self, src: str, dst: str,
+                               nbytes: int) -> float:
+        """Predicted uncontended transfer time for *nbytes*."""
+        if src == dst:
+            return 0.0
+        links = self.path_links(src, dst)
+        latency = sum(link.latency_s for link in links)
+        bottleneck = min(link.bandwidth_bps for link in links)
+        return latency + nbytes * 8 / bottleneck
+
+    # -- simulated transfer ----------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: int,
+                 wire_overhead: int = 0):
+        """DES process: move *nbytes* (+framing overhead) from src to dst.
+
+        Bandwidth is the bottleneck link's fair share at flow start; the
+        process's value is a :class:`TransferResult`.
+        """
+        wire_bytes = nbytes + wire_overhead
+        start = self.sim.now
+        if src == dst:
+            result = TransferResult(src, dst, nbytes, wire_bytes,
+                                    start, start, hops=0)
+            self.transfers.append(result)
+            return result
+            yield  # pragma: no cover - makes this a generator in both paths
+        links = self.path_links(src, dst)
+        latency = sum(link.latency_s for link in links)
+        share = min(link.effective_bandwidth() for link in links)
+        for link in links:
+            link.active_flows += 1
+            link.bytes_carried += wire_bytes
+        try:
+            yield self.sim.timeout(latency + wire_bytes * 8 / share)
+        finally:
+            for link in links:
+                link.active_flows -= 1
+        result = TransferResult(src, dst, nbytes, wire_bytes, start,
+                                self.sim.now, hops=len(links))
+        self.transfers.append(result)
+        return result
+
+    # -- telemetry -------------------------------------------------------------------
+
+    def utilization_report(self) -> dict[tuple[str, str], int]:
+        """Bytes carried per link since construction."""
+        return {key: link.bytes_carried for key, link in self._links.items()}
+
+    def congestion_hotspots(self, top: int = 5) -> list[Link]:
+        """Links ranked by bytes carried, busiest first."""
+        return sorted(self.links, key=lambda l: l.bytes_carried,
+                      reverse=True)[:top]

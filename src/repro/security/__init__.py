@@ -1,0 +1,54 @@
+"""Security substrate: primitives, levels, channels, auth, trust.
+
+Implements the paper's Table II (three tiered security levels with
+concrete primitives per cell) and the Security/Privacy and
+Trust/Reputation building blocks of Table I. All cryptographic
+primitives are implemented from scratch in :mod:`repro.security.primitives`
+and verified against official test vectors where they exist (FIPS-197
+for AES, FIPS-180 for SHA-2, the ASCON v1.2 KATs).
+"""
+
+from repro.security.levels import (
+    Identity,
+    OperationCounters,
+    SecurityLevel,
+    SecuritySuite,
+    SUITE_DESCRIPTORS,
+    SuiteDescriptor,
+    negotiate_level,
+)
+from repro.security.channel import HandshakeTranscript, SecureChannel
+from repro.security.auth import (
+    AuthModule,
+    BUILTIN_ROLES,
+    PERMISSIONS,
+    Token,
+    User,
+)
+from repro.security.trust import (
+    InteractionOutcome,
+    TrustEngine,
+    TrustRecord,
+    aggregate_reputation,
+)
+
+__all__ = [
+    "Identity",
+    "OperationCounters",
+    "SecurityLevel",
+    "SecuritySuite",
+    "SUITE_DESCRIPTORS",
+    "SuiteDescriptor",
+    "negotiate_level",
+    "HandshakeTranscript",
+    "SecureChannel",
+    "AuthModule",
+    "BUILTIN_ROLES",
+    "PERMISSIONS",
+    "Token",
+    "User",
+    "InteractionOutcome",
+    "TrustEngine",
+    "TrustRecord",
+    "aggregate_reputation",
+]

@@ -1,0 +1,158 @@
+"""ECDSA and ECDH over NIST P-256, implemented from scratch.
+
+Table II assigns ECDSA signatures to both the medium and low levels and
+uses elliptic-curve key agreement for the low-level key exchange. The
+curve arithmetic uses Jacobian-free affine formulas with modular
+inversion via Fermat's little theorem — slow but simple and correct.
+Signing is deterministic (RFC 6979-style nonce derivation via HMAC) so
+the implementation needs no secure RNG at signing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import SecurityError
+from repro.security.primitives.sha2 import hmac, sha256
+
+# NIST P-256 domain parameters.
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+GX = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+GY = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+
+Point = tuple[int, int] | None  # None is the point at infinity
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation y^2 = x^3 + ax + b (mod p)."""
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Affine point addition on P-256."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and (y1 + y2) % P == 0:
+        return None
+    if p1 == p2:
+        slope = (3 * x1 * x1 + A) * pow(2 * y1, P - 2, P) % P
+    else:
+        slope = (y2 - y1) * pow(x2 - x1, P - 2, P) % P
+    x3 = (slope * slope - x1 - x2) % P
+    y3 = (slope * (x1 - x3) - y1) % P
+    return (x3, y3)
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Double-and-add scalar multiplication."""
+    k %= N
+    result: Point = None
+    addend = point
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+@dataclass(frozen=True)
+class EcdsaKeyPair:
+    """Private scalar d and public point Q = d*G."""
+
+    d: int
+    q: tuple[int, int]
+
+    @property
+    def public_bytes(self) -> bytes:
+        """Uncompressed SEC1 encoding of the public point."""
+        return b"\x04" + self.q[0].to_bytes(32, "big") \
+            + self.q[1].to_bytes(32, "big")
+
+
+def generate_keypair(rng) -> EcdsaKeyPair:
+    """Generate a P-256 keypair from the supplied random stream."""
+    d = rng.randrange(1, N)
+    q = scalar_mult(d, (GX, GY))
+    assert q is not None
+    return EcdsaKeyPair(d=d, q=q)
+
+
+def public_key_from_bytes(data: bytes) -> tuple[int, int]:
+    """Decode an uncompressed SEC1 public key, validating the point."""
+    if len(data) != 65 or data[0] != 4:
+        raise SecurityError("malformed P-256 public key")
+    q = (int.from_bytes(data[1:33], "big"), int.from_bytes(data[33:], "big"))
+    if not is_on_curve(q) or q is None:
+        raise SecurityError("public key not on curve")
+    return q
+
+
+def _deterministic_nonce(d: int, digest: bytes) -> int:
+    """RFC 6979-style deterministic nonce via HMAC-SHA256 counter mode."""
+    seed = d.to_bytes(32, "big") + digest
+    counter = 0
+    while True:
+        k = int.from_bytes(
+            hmac(seed, counter.to_bytes(4, "big")), "big") % N
+        if k != 0:
+            return k
+        counter += 1
+
+
+def sign(key: EcdsaKeyPair, message: bytes) -> tuple[int, int]:
+    """ECDSA signature (r, s) over SHA-256(message)."""
+    digest = sha256(message)
+    z = int.from_bytes(digest, "big") % N
+    k = _deterministic_nonce(key.d, digest)
+    while True:
+        point = scalar_mult(k, (GX, GY))
+        assert point is not None
+        r = point[0] % N
+        if r == 0:
+            k = (k + 1) % N or 1
+            continue
+        s = pow(k, N - 2, N) * (z + r * key.d) % N
+        if s == 0:
+            k = (k + 1) % N or 1
+            continue
+        return (r, s)
+
+
+def verify(public: tuple[int, int], message: bytes,
+           signature: tuple[int, int]) -> bool:
+    """Verify an ECDSA signature; returns False on any failure."""
+    r, s = signature
+    if not (1 <= r < N and 1 <= s < N):
+        return False
+    if not is_on_curve(public):
+        return False
+    z = int.from_bytes(sha256(message), "big") % N
+    w = pow(s, N - 2, N)
+    u1 = z * w % N
+    u2 = r * w % N
+    point = point_add(scalar_mult(u1, (GX, GY)), scalar_mult(u2, public))
+    if point is None:
+        return False
+    return point[0] % N == r
+
+
+def ecdh_shared_secret(private_d: int, peer_public: tuple[int, int]) -> bytes:
+    """ECDH: hash of the shared point's x-coordinate."""
+    if not is_on_curve(peer_public):
+        raise SecurityError("peer public key not on curve")
+    point = scalar_mult(private_d, peer_public)
+    if point is None:
+        raise SecurityError("ECDH produced the point at infinity")
+    return sha256(point[0].to_bytes(32, "big"))

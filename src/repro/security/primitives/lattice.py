@@ -1,0 +1,255 @@
+"""Lattice-based post-quantum KEM and signatures (CRYSTALS-style).
+
+Table II assigns CRYSTALS-Kyber key encapsulation and CRYSTALS-Dilithium
+/ FALCON signatures to the *high* (PQC-resistant) security level. This
+module implements functional module-LWE analogues of both schemes:
+
+* :func:`kem_*` — a Kyber-style IND-CPA KEM over R_q = Z_q[x]/(x^n + 1)
+  with centered-binomial noise (without the ciphertext compression of
+  the real scheme);
+* :func:`sig_*` — a Dilithium-style Fiat-Shamir-with-aborts signature
+  with high-bits rounding and the rejection-sampling retry loop.
+
+Parameters are chosen so decryption/verification are correct with
+overwhelming probability at simulation scale. These are *educational*
+reimplementations that preserve the algorithms' structure and cost
+shape — not hardened production cryptography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import SecurityError
+from repro.security.primitives.sha2 import sha256
+
+# -- ring arithmetic -----------------------------------------------------------
+
+KEM_N = 256
+KEM_Q = 3329
+KEM_K = 2
+KEM_ETA = 2
+
+SIG_N = 256
+SIG_Q = 8380417
+SIG_K = 2
+SIG_ETA = 2
+SIG_TAU = 39  # weight of the challenge polynomial
+SIG_GAMMA = 1 << 17  # masking range for y
+SIG_ALPHA = 1 << 19  # high-bits rounding granularity
+SIG_BETA = SIG_TAU * SIG_ETA  # max |c*s| coefficient
+
+
+def _poly_mul(a: np.ndarray, b: np.ndarray, q: int, n: int) -> np.ndarray:
+    """Multiply two polynomials in Z_q[x]/(x^n + 1)."""
+    full = np.convolve(a.astype(np.int64), b.astype(np.int64))
+    folded = full[:n].copy()
+    folded[: len(full) - n] -= full[n:]
+    return np.mod(folded, q)
+
+
+def _matvec(matrix: np.ndarray, vector: np.ndarray, q: int,
+            n: int) -> np.ndarray:
+    """Multiply a k x k matrix of ring elements by a k-vector."""
+    k = matrix.shape[0]
+    out = np.zeros((k, n), dtype=np.int64)
+    for i in range(k):
+        for j in range(k):
+            out[i] = np.mod(out[i] + _poly_mul(matrix[i, j], vector[j], q, n),
+                            q)
+    return out
+
+
+def _dot(a: np.ndarray, b: np.ndarray, q: int, n: int) -> np.ndarray:
+    """Inner product of two vectors of ring elements."""
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(a.shape[0]):
+        out = np.mod(out + _poly_mul(a[i], b[i], q, n), q)
+    return out
+
+
+def _cbd(rng: np.random.Generator, eta: int, shape) -> np.ndarray:
+    """Centered binomial distribution with parameter eta."""
+    a = rng.integers(0, 2, size=(*shape, eta)).sum(axis=-1)
+    b = rng.integers(0, 2, size=(*shape, eta)).sum(axis=-1)
+    return (a - b).astype(np.int64)
+
+
+def _uniform_matrix(seed: bytes, k: int, q: int, n: int) -> np.ndarray:
+    """Expand a public seed into a uniform k x k matrix of ring elements."""
+    rng = np.random.default_rng(
+        int.from_bytes(sha256(seed)[:8], "big"))
+    return rng.integers(0, q, size=(k, k, n), dtype=np.int64)
+
+
+def _centered(x: np.ndarray, q: int) -> np.ndarray:
+    """Map residues to the centered range (-q/2, q/2]."""
+    return np.where(x > q // 2, x - q, x)
+
+
+# -- Kyber-style KEM --------------------------------------------------------------
+
+
+@dataclass
+class KemPublicKey:
+    seed: bytes
+    t: np.ndarray  # k x n
+
+    def encode(self) -> bytes:
+        """Wire encoding: seed || packed t (12 bits/coeff rounded to 2B)."""
+        return self.seed + self.t.astype(np.uint16).tobytes()
+
+
+@dataclass
+class KemPrivateKey:
+    s: np.ndarray
+    public: KemPublicKey
+
+
+def kem_generate_keypair(rng: np.random.Generator) -> KemPrivateKey:
+    """Generate a module-LWE keypair: t = A s + e."""
+    seed = rng.bytes(32)
+    a = _uniform_matrix(seed, KEM_K, KEM_Q, KEM_N)
+    s = _cbd(rng, KEM_ETA, (KEM_K, KEM_N))
+    e = _cbd(rng, KEM_ETA, (KEM_K, KEM_N))
+    t = np.mod(_matvec(a, s, KEM_Q, KEM_N) + e, KEM_Q)
+    return KemPrivateKey(s=s, public=KemPublicKey(seed=seed, t=t))
+
+
+def kem_encapsulate(public: KemPublicKey,
+                    rng: np.random.Generator) -> tuple[bytes, bytes]:
+    """Encapsulate: returns (32-byte shared secret, ciphertext bytes)."""
+    a = _uniform_matrix(public.seed, KEM_K, KEM_Q, KEM_N)
+    m_bits = rng.integers(0, 2, size=KEM_N, dtype=np.int64)
+    r = _cbd(rng, KEM_ETA, (KEM_K, KEM_N))
+    e1 = _cbd(rng, KEM_ETA, (KEM_K, KEM_N))
+    e2 = _cbd(rng, KEM_ETA, (KEM_N,))
+    # u = A^T r + e1 ; v = t.r + e2 + round(q/2) m
+    at = a.transpose(1, 0, 2)
+    u = np.mod(_matvec(at, r, KEM_Q, KEM_N) + e1, KEM_Q)
+    v = np.mod(_dot(public.t, r, KEM_Q, KEM_N) + e2
+               + (KEM_Q // 2 + 1) * m_bits, KEM_Q)
+    ciphertext = (u.astype(np.uint16).tobytes()
+                  + v.astype(np.uint16).tobytes())
+    secret = sha256(np.packbits(m_bits.astype(np.uint8)).tobytes())
+    return secret, ciphertext
+
+
+def kem_decapsulate(private: KemPrivateKey, ciphertext: bytes) -> bytes:
+    """Recover the shared secret from a ciphertext."""
+    u_len = KEM_K * KEM_N * 2
+    expected = u_len + KEM_N * 2
+    if len(ciphertext) != expected:
+        raise SecurityError(
+            f"KEM ciphertext must be {expected} bytes, got {len(ciphertext)}"
+        )
+    u = np.frombuffer(ciphertext[:u_len], dtype=np.uint16).astype(
+        np.int64).reshape(KEM_K, KEM_N)
+    v = np.frombuffer(ciphertext[u_len:], dtype=np.uint16).astype(np.int64)
+    noisy = np.mod(v - _dot(private.s, u, KEM_Q, KEM_N), KEM_Q)
+    centered = _centered(noisy, KEM_Q)
+    m_bits = (np.abs(centered) > KEM_Q // 4).astype(np.uint8)
+    return sha256(np.packbits(m_bits).tobytes())
+
+
+def kem_ciphertext_bytes() -> int:
+    """Size of a KEM ciphertext on the wire."""
+    return KEM_K * KEM_N * 2 + KEM_N * 2
+
+
+# -- Dilithium-style signature ---------------------------------------------------------
+
+
+@dataclass
+class SigPublicKey:
+    seed: bytes
+    t: np.ndarray
+
+    def encode(self) -> bytes:
+        return self.seed + self.t.astype(np.int64).tobytes()
+
+
+@dataclass
+class SigPrivateKey:
+    s1: np.ndarray
+    s2: np.ndarray
+    public: SigPublicKey
+
+
+def sig_generate_keypair(rng: np.random.Generator) -> SigPrivateKey:
+    """Generate a signing keypair: t = A s1 + s2."""
+    seed = rng.bytes(32)
+    a = _uniform_matrix(seed, SIG_K, SIG_Q, SIG_N)
+    s1 = _cbd(rng, SIG_ETA, (SIG_K, SIG_N))
+    s2 = _cbd(rng, SIG_ETA, (SIG_K, SIG_N))
+    t = np.mod(_matvec(a, s1, SIG_Q, SIG_N) + s2, SIG_Q)
+    return SigPrivateKey(s1=s1, s2=s2, public=SigPublicKey(seed=seed, t=t))
+
+
+def _high_bits(w: np.ndarray) -> np.ndarray:
+    """Round each coefficient to its high-order part."""
+    return ((w + SIG_ALPHA // 2) // SIG_ALPHA) % (SIG_Q // SIG_ALPHA + 1)
+
+
+def _challenge(high: np.ndarray, message: bytes) -> np.ndarray:
+    """Hash high bits + message into a sparse tau-weight {-1,0,1} poly."""
+    digest = sha256(high.astype(np.int64).tobytes() + message)
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+    c = np.zeros(SIG_N, dtype=np.int64)
+    positions = rng.choice(SIG_N, size=SIG_TAU, replace=False)
+    signs = rng.integers(0, 2, size=SIG_TAU) * 2 - 1
+    c[positions] = signs
+    return c
+
+
+def sig_sign(private: SigPrivateKey, message: bytes,
+             rng: np.random.Generator,
+             max_attempts: int = 100) -> tuple[np.ndarray, np.ndarray]:
+    """Sign with Fiat-Shamir-with-aborts; returns (c, z)."""
+    a = _uniform_matrix(private.public.seed, SIG_K, SIG_Q, SIG_N)
+    for _ in range(max_attempts):
+        y = rng.integers(-SIG_GAMMA, SIG_GAMMA + 1,
+                         size=(SIG_K, SIG_N), dtype=np.int64)
+        w = np.mod(_matvec(a, np.mod(y, SIG_Q), SIG_Q, SIG_N), SIG_Q)
+        high_w = _high_bits(w)
+        c = _challenge(high_w, message)
+        z = y + np.stack([
+            _centered(_poly_mul(c, private.s1[i], SIG_Q, SIG_N), SIG_Q)
+            for i in range(SIG_K)
+        ])
+        # Rejection sampling: bound z and require identical high bits
+        # after subtracting c*s2 (the verifier-side reconstruction).
+        if np.abs(z).max() >= SIG_GAMMA - SIG_BETA:
+            continue
+        w_prime = np.mod(w - np.stack([
+            _poly_mul(c, private.s2[i], SIG_Q, SIG_N)
+            for i in range(SIG_K)
+        ]), SIG_Q)
+        if np.array_equal(_high_bits(w_prime), high_w):
+            return c, z
+    raise SecurityError("signature rejection sampling did not converge")
+
+
+def sig_verify(public: SigPublicKey, message: bytes,
+               signature: tuple[np.ndarray, np.ndarray]) -> bool:
+    """Verify a (c, z) signature; returns False on any failure."""
+    c, z = signature
+    if z.shape != (SIG_K, SIG_N) or np.abs(z).max() >= SIG_GAMMA - SIG_BETA:
+        return False
+    a = _uniform_matrix(public.seed, SIG_K, SIG_Q, SIG_N)
+    az = _matvec(a, np.mod(z, SIG_Q), SIG_Q, SIG_N)
+    ct = np.stack([
+        _poly_mul(c, public.t[i], SIG_Q, SIG_N) for i in range(SIG_K)
+    ])
+    w_prime = np.mod(az - ct, SIG_Q)
+    expected_c = _challenge(_high_bits(w_prime), message)
+    return np.array_equal(c, expected_c)
+
+
+def sig_signature_bytes() -> int:
+    """Approximate wire size of a signature (c packed + z at 18b/coeff)."""
+    c_bytes = SIG_TAU * 2  # position + sign per nonzero coefficient
+    z_bytes = SIG_K * SIG_N * 18 // 8
+    return c_bytes + z_bytes

@@ -1,0 +1,154 @@
+"""RSA key generation, signatures and key encapsulation, from scratch.
+
+Table II assigns RSA digital signatures and RSA key encapsulation to the
+*medium* security level. Key generation uses Miller-Rabin primality
+testing; signing follows the hash-then-pad scheme of PKCS#1 v1.5 (with a
+simplified deterministic padding), and the KEM encrypts a random secret
+under the public key (RSA-KEM, ISO 18033-2 style).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import SecurityError
+from repro.security.primitives.sha2 import hkdf, sha256
+
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+                 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def is_probable_prime(n: int, rng: random.Random, rounds: int = 32) -> bool:
+    """Miller-Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime of exactly *bits* bits."""
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    n: int
+    e: int
+    d: int
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return RsaPublicKey(self.n, self.e)
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+def generate_keypair(bits: int = 1024,
+                     rng: random.Random | None = None) -> RsaPrivateKey:
+    """Generate an RSA keypair. 1024-bit default keeps simulation fast;
+    the key size is a parameter, not a protocol constant."""
+    rng = rng or random.Random()
+    e = 65537
+    while True:
+        p = generate_prime(bits // 2, rng)
+        q = generate_prime(bits - bits // 2, rng)
+        if p == q:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = pow(e, -1, phi)
+        except ValueError:
+            continue
+        return RsaPrivateKey(n=p * q, e=e, d=d)
+
+
+def _pad_digest(digest: bytes, target_len: int) -> int:
+    """PKCS#1 v1.5-style padding: 0x00 0x01 FF..FF 0x00 digest."""
+    if target_len < len(digest) + 11:
+        raise SecurityError("RSA modulus too small for digest padding")
+    padded = (b"\x00\x01" + b"\xff" * (target_len - len(digest) - 3)
+              + b"\x00" + digest)
+    return int.from_bytes(padded, "big")
+
+
+def sign(key: RsaPrivateKey, message: bytes) -> bytes:
+    """Sign SHA-256(message) with the private exponent."""
+    m = _pad_digest(sha256(message), key.byte_length)
+    return pow(m, key.d, key.n).to_bytes(key.byte_length, "big")
+
+
+def verify(key: RsaPublicKey, message: bytes, signature: bytes) -> bool:
+    """Verify an RSA signature; returns False rather than raising."""
+    if len(signature) != key.byte_length:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= key.n:
+        return False
+    recovered = pow(s, key.e, key.n)
+    try:
+        expected = _pad_digest(sha256(message), key.byte_length)
+    except SecurityError:
+        return False
+    return recovered == expected
+
+
+def kem_encapsulate(key: RsaPublicKey,
+                    rng: random.Random) -> tuple[bytes, bytes]:
+    """RSA-KEM: returns (shared_secret, ciphertext).
+
+    A random integer below n is encrypted with the public key; the shared
+    secret is derived from it with HKDF.
+    """
+    r = rng.randrange(2, key.n - 1)
+    ciphertext = pow(r, key.e, key.n).to_bytes(key.byte_length, "big")
+    secret = hkdf(r.to_bytes(key.byte_length, "big"), 32,
+                  info=b"rsa-kem")
+    return secret, ciphertext
+
+
+def kem_decapsulate(key: RsaPrivateKey, ciphertext: bytes) -> bytes:
+    """Recover the KEM shared secret from the ciphertext."""
+    if len(ciphertext) != key.byte_length:
+        raise SecurityError("RSA-KEM ciphertext has wrong length")
+    c = int.from_bytes(ciphertext, "big")
+    if c >= key.n:
+        raise SecurityError("RSA-KEM ciphertext out of range")
+    r = pow(c, key.d, key.n)
+    return hkdf(r.to_bytes(key.byte_length, "big"), 32, info=b"rsa-kem")

@@ -1,0 +1,116 @@
+"""Trust and reputation engine (Table I, Trust and Reputation block).
+
+The paper commits to "trust-related KPIs to implement trust and
+reputation schemes at runtime" in a federated setting. This module keeps
+a per-component trust score from direct interaction outcomes (EWMA with
+time decay towards a neutral prior) and a federation-level reputation
+that aggregates peer reports weighted by the reporters' own trust —
+the classic defence against badmouthing by low-trust reporters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class InteractionOutcome:
+    """One observed interaction with a component."""
+
+    time_s: float
+    success: bool
+    kpi_adherence: float = 1.0  # 1.0 = met all KPIs, 0.0 = missed all
+
+    def score(self) -> float:
+        """Blend success and KPI adherence into a [0, 1] outcome score."""
+        base = 1.0 if self.success else 0.0
+        return 0.6 * base + 0.4 * max(0.0, min(1.0, self.kpi_adherence))
+
+
+@dataclass
+class TrustRecord:
+    """Trust state for one component as seen by one observer."""
+
+    component: str
+    score: float = 0.5  # neutral prior
+    observations: int = 0
+    last_update_s: float = 0.0
+
+
+class TrustEngine:
+    """Direct-trust tracking plus reputation aggregation.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA learning rate for new observations.
+    half_life_s:
+        With no observations, scores decay towards the neutral prior 0.5
+        with this half-life (stale trust should not persist).
+    """
+
+    def __init__(self, observer: str, alpha: float = 0.2,
+                 half_life_s: float = 3600.0, now_fn=None):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if half_life_s <= 0:
+            raise ValueError("half life must be positive")
+        self.observer = observer
+        self.alpha = alpha
+        self.half_life_s = half_life_s
+        self._now = now_fn or (lambda: 0.0)
+        self._records: dict[str, TrustRecord] = {}
+
+    def _record(self, component: str) -> TrustRecord:
+        if component not in self._records:
+            self._records[component] = TrustRecord(component=component,
+                                                   last_update_s=self._now())
+        return self._records[component]
+
+    def _decayed_score(self, record: TrustRecord) -> float:
+        elapsed = max(0.0, self._now() - record.last_update_s)
+        decay = 0.5 ** (elapsed / self.half_life_s)
+        return 0.5 + (record.score - 0.5) * decay
+
+    def observe(self, component: str, outcome: InteractionOutcome) -> float:
+        """Fold one interaction outcome into the component's trust."""
+        record = self._record(component)
+        current = self._decayed_score(record)
+        record.score = (1 - self.alpha) * current \
+            + self.alpha * outcome.score()
+        record.observations += 1
+        record.last_update_s = self._now()
+        return record.score
+
+    def trust(self, component: str) -> float:
+        """Current (decay-adjusted) trust in *component*; 0.5 if unknown."""
+        if component not in self._records:
+            return 0.5
+        return self._decayed_score(self._records[component])
+
+    def trustworthy(self, component: str, threshold: float = 0.6) -> bool:
+        """Placement-eligibility predicate used by the MIRTO Manager."""
+        return self.trust(component) >= threshold
+
+    def known_components(self) -> list[str]:
+        """Components with at least one direct observation."""
+        return sorted(self._records)
+
+
+def aggregate_reputation(reports: dict[str, tuple[float, float]]) -> float:
+    """Federated reputation from peer reports.
+
+    *reports* maps reporter name to ``(reporter_trust, reported_score)``.
+    Each report is weighted by the reporter's own trust, so badmouthing
+    from distrusted reporters has little effect. Returns 0.5 when no
+    reports carry weight.
+    """
+    weight_sum = 0.0
+    value_sum = 0.0
+    for reporter_trust, reported_score in reports.values():
+        weight = max(0.0, reporter_trust)
+        weight_sum += weight
+        value_sum += weight * max(0.0, min(1.0, reported_score))
+    if weight_sum == 0:
+        return 0.5
+    return value_sum / weight_sum

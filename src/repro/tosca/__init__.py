@@ -1,0 +1,38 @@
+"""TOSCA subset: object model, YAML parser, validator, CSAR packaging.
+
+The orchestration request language of the MIRTO agent (Fig. 3) and the
+deployment-specification format the DPE exports (Sec. V).
+"""
+
+from repro.tosca.model import (
+    NodeTemplate,
+    NodeType,
+    Policy,
+    POLICY_TYPES,
+    PropertyDef,
+    Requirement,
+    ServiceTemplate,
+    STANDARD_NODE_TYPES,
+    effective_properties,
+    resolve_type,
+)
+from repro.tosca.parser import dump_service_template, parse_service_template
+from repro.tosca.validator import ToscaValidator
+from repro.tosca.csar import CsarArchive
+
+__all__ = [
+    "NodeTemplate",
+    "NodeType",
+    "Policy",
+    "POLICY_TYPES",
+    "PropertyDef",
+    "Requirement",
+    "ServiceTemplate",
+    "STANDARD_NODE_TYPES",
+    "effective_properties",
+    "resolve_type",
+    "dump_service_template",
+    "parse_service_template",
+    "ToscaValidator",
+    "CsarArchive",
+]

@@ -1,0 +1,59 @@
+"""The two MYRTUS assessment use cases (paper Sec. I).
+
+* Smart Mobility (:mod:`repro.usecases.mobility`) — TNO + CRF;
+* Virtual Telerehabilitation (:mod:`repro.usecases.telerehab`) —
+  UNICA + Forge Reply.
+
+Both expose ``build_scenario()`` (the DPE input), ``build_adt()`` (the
+threat model) and a sweep-parameter helper; :func:`run_sessions` deploys
+a scenario repeatedly through a cognitive engine and aggregates KPIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.usecases import mobility, telerehab
+from repro.dpe.modeling import ScenarioModel
+from repro.mirto.engine import CognitiveEngine
+
+
+@dataclass
+class SessionStats:
+    """Aggregated KPIs over repeated deployments of one scenario."""
+
+    scenario: str
+    strategy: str
+    sessions: int
+    mean_makespan_s: float
+    p95_makespan_s: float
+    total_energy_j: float
+    deadline_hit_rate: float
+
+
+def run_sessions(engine: CognitiveEngine, scenario: ScenarioModel,
+                 strategy: str, sessions: int = 10) -> SessionStats:
+    """Deploy *scenario* repeatedly via the engine's manager."""
+    makespans = []
+    energies = []
+    hits = 0
+    for _ in range(sessions):
+        service = scenario.to_service_template()
+        outcome = engine.manager.deploy(service, strategy=strategy)
+        makespans.append(outcome.report.makespan_s)
+        energies.append(outcome.report.energy_j)
+        hits += int(outcome.deadline_met)
+    ordered = sorted(makespans)
+    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return SessionStats(
+        scenario=scenario.name,
+        strategy=strategy,
+        sessions=sessions,
+        mean_makespan_s=sum(makespans) / len(makespans),
+        p95_makespan_s=ordered[p95_index],
+        total_energy_j=sum(energies),
+        deadline_hit_rate=hits / sessions,
+    )
+
+
+__all__ = ["mobility", "telerehab", "SessionStats", "run_sessions"]

@@ -1,0 +1,88 @@
+"""Smart Mobility use case (paper Sec. I, developed by TNO and CRF).
+
+A vehicle-fleet perception pipeline: on-vehicle camera/radar ingestion
+feeds a DSP-heavy perception kernel (FPGA-accelerable), V2X messages
+aggregate at the roadside gateway, multi-vehicle fusion runs on fog
+analytics, and route planning closes the loop under a tight end-to-end
+latency budget. The tension the continuum must solve: perception wants
+edge acceleration, fusion wants fog-scale analytics, and everything must
+fit the driving-decision deadline.
+"""
+
+from __future__ import annotations
+
+from repro.continuum.workload import KernelClass, PrivacyClass
+from repro.dpe.adt import AttackDefenceTree, AttackNode, Defence, Refinement
+from repro.dpe.modeling import ComponentModel, ScenarioModel
+
+SCENARIO_NAME = "smart-mobility"
+
+#: End-to-end budget for a driving decision (perception -> plan).
+LATENCY_BUDGET_S = 0.25
+
+
+def build_scenario(vehicles: int = 4,
+                   camera_frame_bytes: int = 600_000) -> ScenarioModel:
+    """The mobility pipeline, scaled by fleet size.
+
+    Fusion and planning compute grow with the number of vehicles whose
+    streams they combine; per-vehicle stages do not.
+    """
+    scenario = ScenarioModel(
+        SCENARIO_NAME,
+        latency_budget_s=LATENCY_BUDGET_S,
+        min_security_level="medium",
+        expected_rate_per_s=10.0,
+    )
+    scenario.add_component(ComponentModel(
+        "ingest", megaops=50, input_bytes=camera_frame_bytes,
+        output_bytes=camera_frame_bytes,
+        memory_bytes=256 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "perception", megaops=900, input_bytes=camera_frame_bytes,
+        output_bytes=40_000, kernel=KernelClass.DSP, accelerable=True,
+        memory_bytes=512 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "v2x-aggregate", megaops=80 * vehicles, input_bytes=40_000,
+        output_bytes=30_000, privacy=PrivacyClass.AGGREGATED,
+        memory_bytes=128 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "fusion", megaops=500 * vehicles, input_bytes=30_000,
+        output_bytes=25_000, kernel=KernelClass.ANALYTICS,
+        privacy=PrivacyClass.AGGREGATED,
+        memory_bytes=1024 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "planning", megaops=300 + 60 * vehicles, input_bytes=25_000,
+        output_bytes=5_000, memory_bytes=256 * 1024**2))
+    scenario.connect("ingest", "perception", camera_frame_bytes)
+    scenario.connect("perception", "v2x-aggregate", 40_000)
+    scenario.connect("v2x-aggregate", "fusion", 30_000)
+    scenario.connect("fusion", "planning", 25_000)
+    return scenario
+
+
+def build_adt() -> AttackDefenceTree:
+    """Threat model: compromising the driving decision chain."""
+    root = AttackNode("corrupt-driving-decision", Refinement.OR)
+    spoof = root.add_child(AttackNode(
+        "spoof-v2x-messages", probability=0.5, attack_cost=8))
+    mitm = root.add_child(AttackNode("hijack-pipeline", Refinement.AND))
+    intercept = mitm.add_child(AttackNode(
+        "intercept-fog-link", probability=0.4, attack_cost=15))
+    inject = mitm.add_child(AttackNode(
+        "inject-fused-track", probability=0.6, attack_cost=12))
+    spoof.add_defence(Defence(
+        "v2x-signatures", mitigation=0.08, cost=3.0,
+        primitive="authenticate-peer"))
+    intercept.add_defence(Defence(
+        "fog-link-encryption", mitigation=0.1, cost=2.5,
+        primitive="encrypt-channel"))
+    inject.add_defence(Defence(
+        "track-integrity-tags", mitigation=0.15, cost=2.0,
+        primitive="integrity-check"))
+    return AttackDefenceTree(root)
+
+
+def fleet_scales() -> list[int]:
+    """Fleet sizes the benchmarks sweep."""
+    return [1, 2, 4, 8]

@@ -1,0 +1,93 @@
+"""Virtual Telerehabilitation use case (paper Sec. I, UNICA and REPLY).
+
+A patient performs exercises in front of a camera: raw video must never
+leave the edge (privacy), a neural pose-estimation kernel runs on the
+edge FPGA, movement-quality assessment aggregates at the fog, and the
+clinician's longitudinal dashboard lives in the cloud. Feedback to the
+patient has a responsiveness budget. The continuum tension: the hard
+privacy ceiling pins the heavy kernel to constrained edge silicon while
+analytics and history want bigger machines.
+"""
+
+from __future__ import annotations
+
+from repro.continuum.workload import KernelClass, PrivacyClass
+from repro.dpe.adt import AttackDefenceTree, AttackNode, Defence, Refinement
+from repro.dpe.modeling import ComponentModel, ScenarioModel
+
+SCENARIO_NAME = "telerehabilitation"
+
+#: Patient feedback responsiveness budget.
+LATENCY_BUDGET_S = 0.6
+
+
+def build_scenario(session_minutes: int = 20,
+                   video_frame_bytes: int = 900_000) -> ScenarioModel:
+    """The telerehab pipeline; assessment grows with session length."""
+    scenario = ScenarioModel(
+        SCENARIO_NAME,
+        latency_budget_s=LATENCY_BUDGET_S,
+        min_security_level="high",
+        expected_rate_per_s=2.0,
+    )
+    scenario.add_component(ComponentModel(
+        "capture", megaops=30, input_bytes=video_frame_bytes,
+        output_bytes=video_frame_bytes,
+        privacy=PrivacyClass.RAW_PERSONAL,
+        memory_bytes=256 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "pose-estimation", megaops=700, input_bytes=video_frame_bytes,
+        output_bytes=8_000, kernel=KernelClass.NEURAL, accelerable=True,
+        privacy=PrivacyClass.RAW_PERSONAL,
+        memory_bytes=512 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "exercise-assessment", megaops=40 * session_minutes,
+        input_bytes=8_000, output_bytes=6_000,
+        kernel=KernelClass.ANALYTICS,
+        privacy=PrivacyClass.AGGREGATED,
+        memory_bytes=512 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "patient-feedback", megaops=60, input_bytes=6_000,
+        output_bytes=2_000, memory_bytes=128 * 1024**2))
+    scenario.add_component(ComponentModel(
+        "clinician-dashboard", megaops=25 * session_minutes,
+        input_bytes=6_000, output_bytes=10_000,
+        kernel=KernelClass.ANALYTICS,
+        memory_bytes=1024 * 1024**2))
+    scenario.connect("capture", "pose-estimation", video_frame_bytes)
+    scenario.connect("pose-estimation", "exercise-assessment", 8_000)
+    scenario.connect("exercise-assessment", "patient-feedback", 6_000)
+    scenario.connect("exercise-assessment", "clinician-dashboard", 6_000)
+    return scenario
+
+
+def build_adt() -> AttackDefenceTree:
+    """Threat model: exfiltration or falsification of patient data."""
+    root = AttackNode("compromise-patient-data", Refinement.OR)
+    steal = root.add_child(AttackNode("exfiltrate", Refinement.AND))
+    breach = steal.add_child(AttackNode(
+        "breach-edge-device", probability=0.3, attack_cost=25))
+    extract = steal.add_child(AttackNode(
+        "extract-video-buffer", probability=0.7, attack_cost=10))
+    eavesdrop = root.add_child(AttackNode(
+        "eavesdrop-assessment-link", probability=0.5, attack_cost=6))
+    falsify = root.add_child(AttackNode(
+        "falsify-progress-report", probability=0.25, attack_cost=18))
+    breach.add_defence(Defence(
+        "edge-access-control", mitigation=0.25, cost=2.0,
+        primitive="access-control"))
+    extract.add_defence(Defence(
+        "buffer-isolation", mitigation=0.2, cost=3.0,
+        primitive="isolation"))
+    eavesdrop.add_defence(Defence(
+        "assessment-encryption", mitigation=0.05, cost=2.5,
+        primitive="encrypt-channel"))
+    falsify.add_defence(Defence(
+        "report-signatures", mitigation=0.1, cost=2.0,
+        primitive="authenticate-peer"))
+    return AttackDefenceTree(root)
+
+
+def session_lengths() -> list[int]:
+    """Session lengths (minutes) the benchmarks sweep."""
+    return [5, 10, 20, 40]

@@ -1,0 +1,16 @@
+"""Shared pytest configuration.
+
+Pins the hypothesis profile so property-based tests are deterministic
+across CI runs, and registers the repository layout (src/ packages are
+installed in development mode; no path hacks needed).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+    deadline=None,
+)
+settings.load_profile("repro")

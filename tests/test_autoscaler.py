@@ -1,0 +1,96 @@
+"""Tests for the horizontal autoscaler."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, NotFoundError
+from repro.kube import Deployment, KubeCluster, Node, PodSpec, ResourceRequest
+from repro.kube.autoscaler import HorizontalAutoscaler
+
+GIB = 1024**3
+
+
+def make(replicas=2, **kwargs):
+    cluster = KubeCluster("c")
+    cluster.add_node(Node("big", ResourceRequest(64000, 64 * GIB)))
+    cluster.create_deployment(Deployment(
+        "svc", PodSpec("svc", ResourceRequest(500, GIB // 4)),
+        replicas=replicas))
+    cluster.reconcile()
+    metric = {"value": 0.6}
+    scaler = HorizontalAutoscaler(cluster, "svc",
+                                  metric_fn=lambda: metric["value"],
+                                  target=0.6, min_replicas=1,
+                                  max_replicas=8, **kwargs)
+    return cluster, scaler, metric
+
+
+class TestControlLaw:
+    def test_within_tolerance_no_change(self):
+        _, scaler, _ = make()
+        assert scaler.desired_replicas(0.62, 4) == 4
+
+    def test_scale_up_proportional(self):
+        _, scaler, _ = make()
+        # 4 replicas at 1.2 utilization, target 0.6 -> 8 replicas.
+        assert scaler.desired_replicas(1.2, 4) == 8
+
+    def test_scale_down_proportional(self):
+        _, scaler, _ = make()
+        assert scaler.desired_replicas(0.15, 4) == 1
+
+    def test_bounds_respected(self):
+        _, scaler, _ = make()
+        assert scaler.desired_replicas(10.0, 4) == 8  # max
+        assert scaler.desired_replicas(0.0001, 4) == 1  # min
+
+    def test_invalid_config_rejected(self):
+        cluster, _, _ = make()
+        with pytest.raises(NotFoundError):
+            HorizontalAutoscaler(cluster, "ghost", lambda: 0.5)
+        with pytest.raises(ConfigurationError):
+            HorizontalAutoscaler(cluster, "svc", lambda: 0.5, target=0)
+        with pytest.raises(ConfigurationError):
+            HorizontalAutoscaler(cluster, "svc", lambda: 0.5,
+                                 min_replicas=5, max_replicas=2)
+
+
+class TestClosedLoop:
+    def test_load_spike_scales_up_and_pods_exist(self):
+        cluster, scaler, metric = make(replicas=2)
+        metric["value"] = 1.5  # 2.5x the target
+        event = scaler.tick()
+        assert event is not None
+        assert event.to_replicas == 5
+        assert len(cluster._deployment_pods("svc")) == 5
+
+    def test_scale_down_waits_for_stabilization(self):
+        cluster, scaler, metric = make(replicas=4,
+                                       stabilization_ticks=3)
+        metric["value"] = 1.2
+        scaler.tick()  # scale up immediately (tick 1)
+        metric["value"] = 0.1
+        assert scaler.tick() is None  # tick 2: too soon to scale down
+        assert scaler.tick() is None  # tick 3
+        event = scaler.tick()  # tick 4: window elapsed
+        assert event is not None
+        assert event.to_replicas < event.from_replicas
+
+    def test_steady_metric_no_events(self):
+        cluster, scaler, metric = make(replicas=3)
+        for _ in range(5):
+            assert scaler.tick() is None
+        assert scaler.events == []
+
+    def test_events_recorded_in_order(self):
+        cluster, scaler, metric = make(replicas=2,
+                                       stabilization_ticks=0)
+        metric["value"] = 1.3
+        scaler.tick()
+        metric["value"] = 0.6
+        scaler.tick()
+        metric["value"] = 0.05
+        scaler.tick()
+        ticks = [e.tick for e in scaler.events]
+        assert ticks == sorted(ticks)
+        assert scaler.events[0].to_replicas > 2
+        assert scaler.events[-1].to_replicas == 1

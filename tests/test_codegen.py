@@ -1,0 +1,129 @@
+"""Tests for the C backend: emission and compile-and-run equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CompilationError
+from repro.dpe import import_onnx, reference_mlp
+from repro.dpe.codegen import compile_and_run, compiler_available, emit_c
+from repro.dpe.mlir import (
+    Base2Type,
+    Builder,
+    F32,
+    I1,
+    Interpreter,
+    Module,
+    TensorType,
+    quantize_to_base2,
+)
+
+needs_cc = pytest.mark.skipif(not compiler_available(),
+                              reason="no C compiler on PATH")
+
+
+def scalar_module():
+    module = Module("m")
+    builder = Builder(module, "mix", [F32, F32])
+    product = builder.op("arith.mulf", [builder.args[0],
+                                        builder.args[1]], [F32])
+    bigger = builder.op("arith.maxf", [product.result(),
+                                       builder.args[0]], [F32])
+    builder.ret([bigger.result()])
+    return module
+
+
+class TestEmission:
+    def test_emits_compilable_looking_c(self):
+        module = scalar_module()
+        source = emit_c(module, "mix")
+        assert "void mix(" in source
+        assert "#include <stdint.h>" in source
+
+    def test_unsupported_op_rejected(self):
+        module = Module("m")
+        builder = Builder(module, "odd", [F32])
+        builder.op("dfg.push", [builder.args[0]], [])
+        builder.ret([builder.args[0]])
+        with pytest.raises(CompilationError, match="unsupported op"):
+            emit_c(module, "odd")
+
+    def test_tensor_constants_embedded(self):
+        module = Module("m")
+        t = TensorType((2, 2), F32)
+        builder = Builder(module, "c", [t])
+        w = builder.op("tensor.constant", [], [t],
+                       {"value": np.eye(2)})
+        out = builder.op("tensor.add", [builder.args[0], w.result()],
+                         [t])
+        builder.ret([out.result()])
+        source = emit_c(module, "c")
+        assert "static const double" in source
+
+
+@needs_cc
+class TestCompileAndRun:
+    def test_scalar_matches_interpreter(self):
+        module = scalar_module()
+        (result,) = compile_and_run(module, "mix",
+                                    [np.array([2.0]), np.array([-3.0])])
+        expected = Interpreter(module).run("mix", 2.0, -3.0)
+        assert result[0] == pytest.approx(expected[0])
+
+    def test_mlp_float_matches_interpreter(self):
+        rng = np.random.default_rng(5)
+        module = Module("nn")
+        func = import_onnx(reference_mlp(rng, 6, 10, 3), module)
+        x = rng.normal(0, 1, (1, 6))
+        c_out = compile_and_run(module, func, [x])
+        ref = Interpreter(module).run(func, x)
+        np.testing.assert_allclose(c_out[0], ref[0], rtol=1e-12)
+
+    def test_base2_matches_interpreter_exactly(self):
+        """Fixed-point semantics are integer arithmetic: the C code
+        must be bit-identical to the interpreter, not just close."""
+        rng = np.random.default_rng(6)
+        module = Module("nn")
+        func = import_onnx(reference_mlp(rng, 4, 8, 2), module)
+        fixed = quantize_to_base2(module, func, Base2Type(16, 8))
+        x = rng.normal(0, 1, (1, 4))
+        c_out = compile_and_run(module, fixed.name, [x])
+        ref = Interpreter(module).run(fixed.name, x)
+        np.testing.assert_array_equal(c_out[0], np.asarray(ref[0]))
+
+    def test_select_and_cmp(self):
+        module = Module("m")
+        builder = Builder(module, "clamp", [F32])
+        zero = builder.op("arith.constant", [], [F32], {"value": 0.0})
+        neg = builder.op("arith.cmp", [builder.args[0], zero.result()],
+                         [I1], {"predicate": "lt"})
+        out = builder.op("arith.select",
+                         [neg.result(), zero.result(), builder.args[0]],
+                         [F32])
+        builder.ret([out.result()])
+        assert compile_and_run(module, "clamp",
+                               [np.array([-4.0])])[0][0] == 0.0
+        assert compile_and_run(module, "clamp",
+                               [np.array([4.0])])[0][0] == 4.0
+
+    def test_multiple_returns(self):
+        module = Module("m")
+        builder = Builder(module, "two", [F32, F32])
+        s = builder.op("arith.addf", [builder.args[0], builder.args[1]],
+                       [F32])
+        d = builder.op("arith.subf", [builder.args[0], builder.args[1]],
+                       [F32])
+        builder.ret([s.result(), d.result()])
+        outs = compile_and_run(module, "two",
+                               [np.array([5.0]), np.array([2.0])])
+        assert outs[0][0] == 7.0
+        assert outs[1][0] == 3.0
+
+    def test_reshape_preserves_data(self):
+        module = Module("m")
+        builder = Builder(module, "rs", [TensorType((2, 3), F32)])
+        out = builder.op("tensor.reshape", [builder.args[0]],
+                         [TensorType((3, 2), F32)])
+        builder.ret([out.result()])
+        x = np.arange(6.0).reshape(2, 3)
+        (result,) = compile_and_run(module, "rs", [x])
+        np.testing.assert_array_equal(result.ravel(), x.ravel())

@@ -1,0 +1,107 @@
+"""Unit tests for repro.core: ids, units, errors."""
+
+import pytest
+
+from repro.core import (
+    IdGenerator,
+    qualified_name,
+    ValidationError,
+    format_bytes,
+    format_duration,
+    format_energy,
+    KIB,
+    MIB,
+    GIB,
+    MS,
+    US,
+    MINUTE,
+)
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("pod") == "pod-0000"
+        assert gen.next("pod") == "pod-0001"
+        assert gen.next("node") == "node-0000"
+
+    def test_peek_does_not_advance(self):
+        gen = IdGenerator()
+        assert gen.peek("x") == 0
+        gen.next("x")
+        assert gen.peek("x") == 1
+
+    def test_reset_single_prefix(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("b")
+        gen.reset("a")
+        assert gen.next("a") == "a-0000"
+        assert gen.next("b") == "b-0001"
+
+    def test_reset_all(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.next("b")
+        gen.reset()
+        assert gen.next("a") == "a-0000"
+        assert gen.next("b") == "b-0000"
+
+    def test_custom_width(self):
+        gen = IdGenerator(width=2)
+        assert gen.next("n") == "n-00"
+
+    def test_rejects_empty_prefix(self):
+        with pytest.raises(ValueError):
+            IdGenerator().next("")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            IdGenerator(width=0)
+
+
+class TestQualifiedName:
+    def test_joins_parts(self):
+        assert qualified_name("edge", "dev", "pmc") == "edge.dev.pmc"
+
+    def test_skips_empty_parts(self):
+        assert qualified_name("a", "", "b") == "a.b"
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            qualified_name("", "")
+
+
+class TestUnits:
+    def test_binary_prefixes(self):
+        assert KIB == 1024
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1536) == "1.50 KiB"
+        assert format_bytes(3 * MIB) == "3.00 MiB"
+        assert format_bytes(2 * GIB) == "2.00 GiB"
+
+    def test_format_duration(self):
+        assert format_duration(2 * MINUTE) == "2.00 min"
+        assert format_duration(1.5) == "1.50 s"
+        assert format_duration(2 * MS) == "2.00 ms"
+        assert format_duration(5 * US) == "5.00 us"
+
+    def test_format_energy(self):
+        assert format_energy(1.5) == "1.500 J"
+        assert format_energy(0.0021) == "2.10 mJ"
+
+
+class TestValidationError:
+    def test_collects_problems(self):
+        err = ValidationError("doc invalid", ["missing name", "bad type"])
+        assert "missing name" in str(err)
+        assert "bad type" in str(err)
+        assert err.problems == ["missing name", "bad type"]
+
+    def test_without_problems(self):
+        err = ValidationError("plain")
+        assert str(err) == "plain"

@@ -1,0 +1,226 @@
+"""Unit tests for device models: execution, energy, operating points, PMCs."""
+
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError, NotFoundError
+from repro.continuum.devices import (
+    DEFAULT_OPERATING_POINTS,
+    DeviceKind,
+    DeviceSpec,
+    Layer,
+    OperatingPoint,
+    SPEC_CATALOGUE,
+    make_device,
+)
+from repro.continuum.simulator import Simulator
+from repro.continuum.workload import KernelClass, Task
+
+
+def fpga(sim=None):
+    return make_device(sim or Simulator(), "fpga", DeviceKind.HMPSOC_FPGA)
+
+
+class TestSpecValidation:
+    def test_catalogue_covers_all_kinds(self):
+        assert set(SPEC_CATALOGUE) == set(DeviceKind)
+
+    def test_catalogue_layers_match_paper(self):
+        assert SPEC_CATALOGUE[DeviceKind.HMPSOC_FPGA].layer == Layer.EDGE
+        assert SPEC_CATALOGUE[DeviceKind.FMDC].layer == Layer.FOG
+        assert SPEC_CATALOGUE[DeviceKind.CLOUD_SERVER].layer == Layer.CLOUD
+
+    def test_invalid_cores(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(kind=DeviceKind.EDGE_MULTICORE, layer=Layer.EDGE,
+                       cores=0, gops=1, memory_bytes=1, io_bw_bps=1,
+                       idle_power_w=1, busy_power_w=2)
+
+    def test_busy_power_below_idle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceSpec(kind=DeviceKind.EDGE_MULTICORE, layer=Layer.EDGE,
+                       cores=1, gops=1, memory_bytes=1, io_bw_bps=1,
+                       idle_power_w=5, busy_power_w=2)
+
+    def test_operating_point_scales_positive(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint("bad", perf_scale=0, power_scale=1)
+
+
+class TestExecution:
+    def test_task_completes_with_record(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        task = Task("t", megaops=100, input_bytes=1000, output_bytes=500)
+        p = sim.process(dev.execute(task))
+        rec = sim.run(until=p)
+        assert rec.task_name == "t"
+        assert rec.device_name == "fpga"
+        assert rec.end_s > 0
+        assert rec.energy_j > 0
+
+    def test_dsp_kernel_is_accelerated_on_fpga(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        plain = Task("p", megaops=100)
+        dsp = Task("d", megaops=100, kernel=KernelClass.DSP)
+        assert dev.estimate_duration(dsp) < dev.estimate_duration(plain)
+        p = sim.process(dev.execute(dsp))
+        rec = sim.run(until=p)
+        assert rec.accelerated
+
+    def test_oversized_task_rejected(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        huge = Task("huge", megaops=1,
+                    memory_bytes=dev.spec.memory_bytes + 1)
+        with pytest.raises(CapacityError):
+            # The capacity check happens before the first yield.
+            next(dev.execute(huge))
+
+    def test_core_contention_serializes(self):
+        sim = Simulator()
+        dev = fpga(sim)  # 2 cores
+        tasks = [Task(f"t{i}", megaops=400) for i in range(3)]
+        procs = [sim.process(dev.execute(t)) for t in tasks]
+        sim.run()
+        ends = sorted(p.value.end_s for p in procs)
+        # Two run in parallel, the third starts after one finishes.
+        assert ends[0] == ends[1]
+        assert ends[2] > ends[1]
+
+    def test_memory_pressure_delays_start(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        half = dev.spec.memory_bytes // 2
+        big1 = Task("b1", megaops=400, memory_bytes=half + 1)
+        big2 = Task("b2", megaops=400, memory_bytes=half + 1)
+        p1 = sim.process(dev.execute(big1))
+        p2 = sim.process(dev.execute(big2))
+        sim.run()
+        # Second task could not overlap despite a free core.
+        assert p2.value.start_s >= p1.value.end_s
+
+    def test_pmcs_accumulate(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        for i in range(3):
+            sim.process(dev.execute(
+                Task(f"t{i}", megaops=10, kernel=KernelClass.DSP,
+                     input_bytes=100)))
+        sim.run()
+        snap = dev.pmc.snapshot()
+        assert snap["tasks_executed"] == 3
+        assert snap["accelerated_tasks"] == 3
+        assert snap["bytes_moved"] == 300
+        assert snap["busy_time_s"] > 0
+
+
+class TestOperatingPoints:
+    def test_default_points_present(self):
+        dev = fpga()
+        assert set(dev.operating_points) == {
+            op.name for op in DEFAULT_OPERATING_POINTS
+        }
+        assert dev.operating_point.name == "balanced"
+
+    def test_switching_changes_estimates(self):
+        dev = fpga()
+        task = Task("t", megaops=1000)
+        balanced = dev.estimate_duration(task)
+        dev.set_operating_point("performance")
+        assert dev.estimate_duration(task) < balanced
+        dev.set_operating_point("low-power")
+        assert dev.estimate_duration(task) > balanced
+
+    def test_low_power_uses_less_energy(self):
+        dev = fpga()
+        task = Task("t", megaops=1000)
+        assert (dev.estimate_energy(task, "low-power")
+                < dev.estimate_energy(task, "performance"))
+
+    def test_unknown_point_raises(self):
+        with pytest.raises(NotFoundError):
+            fpga().set_operating_point("turbo")
+
+    def test_record_captures_active_point(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        dev.set_operating_point("low-power")
+        p = sim.process(dev.execute(Task("t", megaops=10)))
+        rec = sim.run(until=p)
+        assert rec.operating_point == "low-power"
+
+
+class TestReconfiguration:
+    def test_reconfigure_loads_bitstream(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        p = sim.process(dev.reconfigure("fir-filter.bit"))
+        sim.run(until=p)
+        assert "fir-filter.bit" in dev.loaded_bitstreams
+        assert dev.pmc.reconfigurations == 1
+        assert sim.now == dev.spec.reconfig_time_s
+
+    def test_region_eviction_fifo(self):
+        sim = Simulator()
+        dev = fpga(sim)  # 2 regions
+        for name in ("a.bit", "b.bit", "c.bit"):
+            sim.run(until=sim.process(dev.reconfigure(name)))
+        assert dev.loaded_bitstreams == ("b.bit", "c.bit")
+
+    def test_non_reconfigurable_device_rejects(self):
+        sim = Simulator()
+        dev = make_device(sim, "mc", DeviceKind.EDGE_MULTICORE)
+        with pytest.raises(ConfigurationError):
+            next(dev.reconfigure("x.bit"))
+
+
+class TestTelemetry:
+    def test_idle_device_zero_utilization(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        sim.run(until=sim.timeout(10))
+        assert dev.utilization() == 0.0
+        # But idle energy accrues.
+        assert dev.total_energy() == pytest.approx(
+            dev.spec.idle_power_w * 10)
+
+    def test_utilization_bounded(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        for i in range(10):
+            sim.process(dev.execute(Task(f"t{i}", megaops=100)))
+        sim.run()
+        assert 0 < dev.utilization() <= 1.0
+
+    def test_telemetry_shape(self):
+        sim = Simulator()
+        dev = fpga(sim)
+        sample = dev.telemetry()
+        for key in ("utilization", "memory_free_bytes", "queue_length",
+                    "energy_j", "tasks_executed"):
+            assert key in sample
+
+
+class TestCrossDeviceComparisons:
+    """Sanity: the catalogue's relative magnitudes match the paper story."""
+
+    def test_cloud_faster_than_edge(self):
+        sim = Simulator()
+        cloud = make_device(sim, "c", DeviceKind.CLOUD_SERVER)
+        edge = make_device(sim, "e", DeviceKind.EDGE_MULTICORE)
+        task = Task("t", megaops=10000)
+        assert cloud.estimate_duration(task) < edge.estimate_duration(task)
+
+    def test_riscv_lowest_idle_power(self):
+        specs = SPEC_CATALOGUE
+        riscv = specs[DeviceKind.RISCV_CGRA]
+        assert all(riscv.idle_power_w <= s.idle_power_w
+                   for s in specs.values())
+
+    def test_fpga_beats_multicore_on_dsp_energy(self):
+        sim = Simulator()
+        fpga_dev = make_device(sim, "f", DeviceKind.HMPSOC_FPGA)
+        mc = make_device(sim, "m", DeviceKind.EDGE_MULTICORE)
+        dsp = Task("t", megaops=5000, kernel=KernelClass.DSP)
+        assert fpga_dev.estimate_energy(dsp) < mc.estimate_energy(dsp)

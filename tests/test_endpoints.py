@@ -1,0 +1,146 @@
+"""Tests for extreme-edge sensors and actuators."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.continuum.endpoints import ActuatorProcess, SensorProcess
+from repro.continuum.gateway import GatewayHub
+from repro.continuum.simulator import Simulator
+from repro.net.topology import Network
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim)
+    network.add_link("cam", "gw", 0.002, 10e6)
+    network.add_link("gw", "fmdc", 0.005, 1e9)
+    hub = GatewayHub(sim, network, "gw")
+    hub.register("cam", ["coap"])
+    hub.register("fmdc", ["mqtt"])
+    return sim, network, hub
+
+
+class TestSensorProcess:
+    def test_publishes_at_period(self, setup):
+        sim, network, hub = setup
+        sensor = SensorProcess(
+            sim, hub, "cam", "fmdc", "frames",
+            sample_fn=lambda seq: {"frame": seq},
+            period_s=0.1, max_samples=5)
+        sim.run(until=sensor.process)
+        assert len(sensor.readings) == 5
+        # Samples spaced by at least the period.
+        times = [r.time_s for r in sensor.readings]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= 0.1 for gap in gaps)
+
+    def test_messages_reach_destination(self, setup):
+        sim, network, hub = setup
+        sensor = SensorProcess(
+            sim, hub, "cam", "fmdc", "frames",
+            sample_fn=lambda seq: {"frame": seq},
+            period_s=0.05, max_samples=3)
+        sim.run(until=sensor.process)
+        delivered = [r for r in hub.deliveries if r.wire_bytes > 0]
+        assert len(delivered) == 3
+        assert all(r.dst == "fmdc" for r in delivered)
+
+    def test_stop_halts_publication(self, setup):
+        sim, network, hub = setup
+        sensor = SensorProcess(
+            sim, hub, "cam", "fmdc", "frames",
+            sample_fn=lambda seq: {"frame": seq}, period_s=0.1)
+        sim.run(until=0.35)
+        sensor.stop()
+        sim.run(until=2.0)
+        assert len(sensor.readings) <= 5
+
+    def test_invalid_period_rejected(self, setup):
+        sim, network, hub = setup
+        with pytest.raises(ConfigurationError):
+            SensorProcess(sim, hub, "cam", "fmdc", "t",
+                          lambda seq: {}, period_s=0)
+
+    def test_readings_buffered_during_outage(self, setup):
+        sim, network, hub = setup
+        hub.set_reachable("fmdc", False)
+        sensor = SensorProcess(
+            sim, hub, "cam", "fmdc", "frames",
+            sample_fn=lambda seq: {"frame": seq},
+            period_s=0.05, max_samples=4)
+        sim.run(until=sensor.process)
+        assert hub.buffered_count("fmdc") == 4
+
+
+class TestActuatorProcess:
+    def test_commands_executed_in_order(self):
+        sim = Simulator()
+        actuator = ActuatorProcess(sim, "valve", actuation_delay_s=0.01)
+
+        def issue():
+            for sequence in range(3):
+                yield actuator.command(sequence, sim.now)
+                yield sim.timeout(0.05)
+            actuator.stop()
+
+        sim.process(issue())
+        sim.run()
+        assert [r.sequence for r in actuator.records] == [0, 1, 2]
+
+    def test_latency_includes_actuation_delay(self):
+        sim = Simulator()
+        actuator = ActuatorProcess(sim, "valve", actuation_delay_s=0.02)
+
+        def issue():
+            yield actuator.command(0, sim.now)
+            yield sim.timeout(0.1)
+            actuator.stop()
+
+        sim.process(issue())
+        sim.run()
+        assert actuator.records[0].latency_s >= 0.02
+        assert actuator.mean_latency() >= 0.02
+
+    def test_mean_latency_empty(self):
+        sim = Simulator()
+        actuator = ActuatorProcess(sim, "valve")
+        assert actuator.mean_latency() == 0.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActuatorProcess(Simulator(), "v", actuation_delay_s=-1)
+
+
+class TestSenseActuateLoop:
+    def test_closed_loop_through_gateway(self, setup):
+        """Sensor -> gateway -> controller decision -> actuator, with
+        measured end-to-end latency."""
+        sim, network, hub = setup
+        actuator = ActuatorProcess(sim, "brake", actuation_delay_s=0.003)
+        sensor = SensorProcess(
+            sim, hub, "cam", "fmdc", "hazard",
+            sample_fn=lambda seq: {"hazard": seq % 2 == 0, "seq": seq},
+            period_s=0.05, max_samples=6)
+
+        def controller():
+            """Reacts to delivered hazard readings."""
+            seen = 0
+            while seen < 6:
+                delivered = [r for r in hub.deliveries
+                             if r.wire_bytes > 0]
+                while seen < len(delivered):
+                    reading = sensor.readings[seen]
+                    if reading.payload["hazard"]:
+                        yield actuator.command(reading.sequence,
+                                               reading.time_s)
+                    seen += 1
+                yield sim.timeout(0.01)
+            actuator.stop()
+
+        sim.process(controller())
+        sim.run(until=sensor.process)
+        sim.run()
+        # Hazards at sequences 0, 2, 4 -> three actuations.
+        assert [r.sequence for r in actuator.records] == [0, 2, 4]
+        assert all(r.latency_s > 0 for r in actuator.records)

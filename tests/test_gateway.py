@@ -1,0 +1,166 @@
+"""Tests for the smart-gateway data-exchange hub."""
+
+import math
+
+import pytest
+
+from repro.core.errors import NotFoundError, ValidationError
+from repro.continuum.gateway import GatewayHub
+from repro.continuum.simulator import Simulator
+from repro.net.topology import Network
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    network = Network(sim)
+    network.add_link("sensor", "gw", 0.002, 1e6)
+    network.add_link("fpga", "gw", 0.002, 100e6)
+    network.add_link("gw", "fmdc", 0.005, 1e9)
+    hub = GatewayHub(sim, network, "gw", buffer_limit=3)
+    hub.register("sensor", ["coap"])
+    hub.register("fpga", ["http"])
+    hub.register("fmdc", ["mqtt", "http"])
+    return sim, network, hub
+
+
+def run_exchange(sim, hub, src, dst, topic, payload):
+    process = sim.process(hub.exchange(src, dst, topic, payload))
+    return sim.run(until=process)
+
+
+class TestRegistration:
+    def test_unknown_protocol_rejected(self, setup):
+        sim, network, hub = setup
+        network.add_host("x")
+        with pytest.raises(ValidationError):
+            hub.register("x", ["carrier-pigeon"])
+
+    def test_unknown_host_rejected(self, setup):
+        sim, network, hub = setup
+        with pytest.raises(NotFoundError):
+            hub.register("ghost", ["http"])
+
+    def test_empty_protocols_rejected(self, setup):
+        sim, network, hub = setup
+        network.add_host("x")
+        with pytest.raises(ValidationError):
+            hub.register("x", [])
+
+    def test_gateway_must_be_in_network(self):
+        sim = Simulator()
+        with pytest.raises(NotFoundError):
+            GatewayHub(sim, Network(sim), "nowhere")
+
+
+class TestBridging:
+    def test_coap_sensor_to_mqtt_fog(self, setup):
+        sim, network, hub = setup
+        record = run_exchange(sim, hub, "sensor", "fmdc", "telemetry",
+                              {"temp_c": 21.5})
+        assert record.ingress_protocol == "coap"
+        assert record.egress_protocol == "mqtt"
+        assert record.delivered_at_s > 0
+
+    def test_http_accelerator_to_fog(self, setup):
+        sim, network, hub = setup
+        record = run_exchange(sim, hub, "fpga", "fmdc", "result",
+                              {"detections": [1, 2]})
+        assert record.ingress_protocol == "http"
+        # Receiver prefers its first-listed protocol.
+        assert record.egress_protocol == "mqtt"
+
+    def test_bridge_matrix_counts(self, setup):
+        sim, network, hub = setup
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"v": 1})
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"v": 2})
+        run_exchange(sim, hub, "fpga", "fmdc", "t", {"v": 3})
+        matrix = hub.bridge_matrix()
+        assert matrix[("coap", "mqtt")] == 2
+        assert matrix[("http", "mqtt")] == 1
+
+    def test_transfer_consumes_simulated_time(self, setup):
+        sim, network, hub = setup
+        before = sim.now
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"v": 1})
+        assert sim.now > before + 0.006  # two legs of latency
+
+
+class TestLocalProcessing:
+    def test_payload_transformation(self, setup):
+        sim, network, hub = setup
+        hub.add_processor(
+            "telemetry",
+            lambda p: {"temp_k": p["temp_c"] + 273.15})
+        record = run_exchange(sim, hub, "sensor", "fmdc", "telemetry",
+                              {"temp_c": 20.0})
+        assert record is not None
+
+    def test_deadband_filter_drops_message(self, setup):
+        sim, network, hub = setup
+        hub.add_processor(
+            "telemetry",
+            lambda p: p if abs(p["temp_c"] - 20.0) > 1.0 else None)
+        kept = run_exchange(sim, hub, "sensor", "fmdc", "telemetry",
+                            {"temp_c": 25.0})
+        dropped = run_exchange(sim, hub, "sensor", "fmdc", "telemetry",
+                               {"temp_c": 20.3})
+        assert kept is not None
+        assert dropped is None
+
+    def test_processor_chain(self, setup):
+        sim, network, hub = setup
+        hub.add_processor("t", lambda p: {**p, "stage1": True})
+        hub.add_processor("t", lambda p: {**p, "stage2": True})
+        record = run_exchange(sim, hub, "sensor", "fmdc", "t", {"v": 1})
+        assert record is not None
+
+
+class TestStoreAndForward:
+    def test_buffered_while_unreachable(self, setup):
+        sim, network, hub = setup
+        hub.set_reachable("fmdc", False)
+        result = run_exchange(sim, hub, "sensor", "fmdc", "t", {"v": 1})
+        assert result is None
+        assert hub.buffered_count("fmdc") == 1
+
+    def test_flush_delivers_in_order(self, setup):
+        sim, network, hub = setup
+        hub.set_reachable("fmdc", False)
+        for i in range(3):
+            run_exchange(sim, hub, "sensor", "fmdc", "t", {"seq": i})
+        hub.set_reachable("fmdc", True)
+        flush = sim.process(hub.flush("fmdc"))
+        delivered = sim.run(until=flush)
+        assert delivered == 3
+        assert hub.buffered_count("fmdc") == 0
+        sequence = [r for r in hub.deliveries if r.wire_bytes > 0]
+        assert len(sequence) == 3
+
+    def test_buffer_limit_drops_excess(self, setup):
+        sim, network, hub = setup
+        hub.set_reachable("fmdc", False)
+        for i in range(5):  # limit is 3
+            run_exchange(sim, hub, "sensor", "fmdc", "t", {"seq": i})
+        assert hub.buffered_count("fmdc") == 3
+        assert hub.dropped == 2
+
+    def test_flush_while_unreachable_rejected(self, setup):
+        sim, network, hub = setup
+        hub.set_reachable("fmdc", False)
+        with pytest.raises(ValidationError):
+            next(hub.flush("fmdc"))
+
+    def test_uplink_outage_story(self, setup):
+        """Sensor keeps publishing through an uplink outage; nothing is
+        lost (within the buffer), everything arrives after recovery."""
+        sim, network, hub = setup
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"seq": 0})
+        hub.set_reachable("fmdc", False)
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"seq": 1})
+        run_exchange(sim, hub, "sensor", "fmdc", "t", {"seq": 2})
+        hub.set_reachable("fmdc", True)
+        sim.run(until=sim.process(hub.flush("fmdc")))
+        arrived = [r for r in hub.deliveries if r.wire_bytes > 0]
+        assert len(arrived) == 3
+        assert sum(1 for r in arrived if r.buffered) == 2

@@ -1,0 +1,147 @@
+"""Unit tests for the layered continuum infrastructure."""
+
+import pytest
+
+from repro.core.errors import NotFoundError, ValidationError
+from repro.continuum import (
+    DeviceKind,
+    Infrastructure,
+    KernelClass,
+    Layer,
+    Simulator,
+    Task,
+    build_reference_infrastructure,
+)
+
+
+class TestInfrastructure:
+    def test_add_device_registers_host(self):
+        infra = Infrastructure(Simulator())
+        dev = infra.add_device(DeviceKind.EDGE_MULTICORE)
+        assert dev.name in infra.network.graph
+        assert infra.device(dev.name) is dev
+
+    def test_duplicate_name_rejected(self):
+        infra = Infrastructure(Simulator())
+        infra.add_device(DeviceKind.EDGE_MULTICORE, name="n")
+        with pytest.raises(ValidationError):
+            infra.add_device(DeviceKind.FMDC, name="n")
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(NotFoundError):
+            Infrastructure(Simulator()).device("ghost")
+
+    def test_attach_creates_link_with_layer_defaults(self):
+        infra = Infrastructure(Simulator())
+        gw = infra.add_device(DeviceKind.SMART_GATEWAY, name="gw")
+        fpga = infra.add_device(DeviceKind.HMPSOC_FPGA, name="fpga",
+                                attach_to="gw")
+        link = infra.network.link("fpga", "gw")
+        assert link.latency_s == pytest.approx(0.005)  # edge-fog default
+
+    def test_attach_with_explicit_link_params(self):
+        infra = Infrastructure(Simulator())
+        infra.add_device(DeviceKind.SMART_GATEWAY, name="gw")
+        infra.add_device(DeviceKind.HMPSOC_FPGA, name="fpga",
+                         attach_to="gw", link_latency_s=0.001,
+                         link_bw_bps=5e9)
+        link = infra.network.link("fpga", "gw")
+        assert link.latency_s == 0.001
+        assert link.bandwidth_bps == 5e9
+
+    def test_layer_filtering(self):
+        sim = Simulator()
+        infra = build_reference_infrastructure(sim)
+        edges = infra.layer_devices(Layer.EDGE)
+        assert edges and all(d.spec.layer == Layer.EDGE for d in edges)
+
+    def test_kind_filtering(self):
+        infra = build_reference_infrastructure(Simulator())
+        fpgas = infra.devices_of_kind(DeviceKind.HMPSOC_FPGA)
+        assert len(fpgas) == 2  # one per edge site
+
+
+class TestCapabilityFilter:
+    def test_kernel_filter(self):
+        infra = build_reference_infrastructure(Simulator())
+        dsp = infra.capable_devices(kernel=KernelClass.DSP)
+        assert dsp
+        assert all(KernelClass.DSP in d.spec.accel_kernels for d in dsp)
+
+    def test_security_filter(self):
+        infra = build_reference_infrastructure(Simulator())
+        high = infra.capable_devices(min_security_level="high")
+        assert high
+        assert all(d.spec.max_security_level == "high" for d in high)
+        # RISC-V devices (low only) must be excluded.
+        assert not any(d.spec.kind == DeviceKind.RISCV_CGRA for d in high)
+
+    def test_memory_filter(self):
+        infra = build_reference_infrastructure(Simulator())
+        big = infra.capable_devices(min_memory_bytes=100 * 1024**3)
+        assert big
+        assert all(d.spec.memory_bytes >= 100 * 1024**3 for d in big)
+
+    def test_layer_filter_combines(self):
+        infra = build_reference_infrastructure(Simulator())
+        fog_high = infra.capable_devices(layer=Layer.FOG,
+                                         min_security_level="high")
+        assert all(d.spec.layer == Layer.FOG for d in fog_high)
+
+
+class TestOffloadStats:
+    def test_classification(self):
+        infra = build_reference_infrastructure(Simulator())
+        infra.record_offload("mc-00-0", "fpga-00-0")  # edge->edge
+        infra.record_offload("mc-00-0", "fmdc-00")  # edge->fog
+        infra.record_offload("cloud-00", "fmdc-00")  # cloud->fog
+        assert infra.offloads.horizontal == 1
+        assert infra.offloads.vertical_up == 1
+        assert infra.offloads.vertical_down == 1
+        assert infra.offloads.total == 3
+
+
+class TestReferenceInfrastructure:
+    def test_component_counts(self):
+        infra = build_reference_infrastructure(
+            Simulator(), edge_sites=3, gateways_per_site=2, fmdcs=2,
+            cloud_servers=1)
+        assert len(infra.devices_of_kind(DeviceKind.SMART_GATEWAY)) == 6
+        assert len(infra.devices_of_kind(DeviceKind.HMPSOC_FPGA)) == 6
+        assert len(infra.devices_of_kind(DeviceKind.FMDC)) == 2
+        assert len(infra.devices_of_kind(DeviceKind.CLOUD_SERVER)) == 1
+
+    def test_every_device_reachable_from_cloud(self):
+        infra = build_reference_infrastructure(Simulator())
+        for name in infra.devices:
+            assert infra.network.path("cloud-00", name)
+
+    def test_edge_to_cloud_latency_exceeds_edge_to_fog(self):
+        infra = build_reference_infrastructure(Simulator())
+        to_fog = infra.network.path_latency("fpga-00-0", "fmdc-00")
+        to_cloud = infra.network.path_latency("fpga-00-0", "cloud-00")
+        assert to_cloud > to_fog
+
+    def test_workload_execution_end_to_end(self):
+        sim = Simulator()
+        infra = build_reference_infrastructure(sim)
+        fpga = infra.device("fpga-00-0")
+        cloud = infra.device("cloud-00")
+
+        def offload():
+            # Move input to cloud, compute there, return result.
+            yield sim.process(infra.network.transfer(
+                fpga.name, cloud.name, 1_000_000))
+            rec = yield sim.process(cloud.execute(
+                Task("heavy", megaops=50_000, kernel=KernelClass.NEURAL)))
+            yield sim.process(infra.network.transfer(
+                cloud.name, fpga.name, 10_000))
+            infra.record_offload(fpga.name, cloud.name)
+            return rec
+
+        p = sim.process(offload())
+        rec = sim.run(until=p)
+        assert rec.device_name == "cloud-00"
+        assert infra.offloads.vertical_up == 1
+        report = infra.layer_report()
+        assert report["cloud"]["tasks_executed"] == 1

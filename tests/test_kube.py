@@ -1,0 +1,250 @@
+"""Tests for the mini-Kubernetes control plane and scheduler."""
+
+import pytest
+
+from repro.core.errors import (
+    NotFoundError,
+    OrchestrationError,
+    ValidationError,
+)
+from repro.kube import (
+    Deployment,
+    KubeCluster,
+    Node,
+    PodPhase,
+    PodSpec,
+    ResourceRequest,
+    Scheduler,
+    Taint,
+)
+
+GIB = 1024**3
+
+
+def small_node(name="n0", cpu=4000, mem=4 * GIB, **kwargs):
+    return Node(name, ResourceRequest(cpu, mem), **kwargs)
+
+
+def small_pod(name="p0", cpu=500, mem=256 * 1024**2, **kwargs):
+    return PodSpec(name, ResourceRequest(cpu, mem), **kwargs)
+
+
+class TestResourceRequest:
+    def test_addition(self):
+        total = ResourceRequest(100, 200) + ResourceRequest(50, 100)
+        assert total == ResourceRequest(150, 300)
+
+    def test_fits_within(self):
+        assert ResourceRequest(100, 100).fits_within(ResourceRequest(100, 100))
+        assert not ResourceRequest(101, 0).fits_within(ResourceRequest(100, 0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            ResourceRequest(-1, 0)
+
+
+class TestScheduling:
+    def test_pod_binds_to_fitting_node(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        pod = cluster.create_pod(small_pod())
+        assert cluster.reconcile() == 1
+        assert pod.phase is PodPhase.SCHEDULED
+        assert pod.node_name == "n0"
+
+    def test_unschedulable_stays_pending_with_reason(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(cpu=100))
+        pod = cluster.create_pod(small_pod(cpu=4000))
+        assert cluster.reconcile() == 0
+        assert pod.phase is PodPhase.PENDING
+        assert any("insufficient resources" in m for m in pod.messages)
+
+    def test_resources_tracked_across_pods(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(cpu=1000))
+        cluster.create_pod(small_pod("a", cpu=600))
+        cluster.create_pod(small_pod("b", cpu=600))
+        cluster.reconcile()
+        phases = {p.name: p.phase for p in cluster.pods.values()}
+        assert phases["a"] is PodPhase.SCHEDULED
+        assert phases["b"] is PodPhase.PENDING  # 600+600 > 1000
+
+    def test_node_selector_respected(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node("plain"))
+        cluster.add_node(small_node("fpga", labels={"accel": "fpga"}))
+        pod = cluster.create_pod(small_pod(node_selector={"accel": "fpga"}))
+        cluster.reconcile()
+        assert pod.node_name == "fpga"
+
+    def test_taint_repels_untolerating_pod(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(
+            "tainted", taints=[Taint("dedicated", "mirto")]))
+        pod = cluster.create_pod(small_pod())
+        cluster.reconcile()
+        assert pod.phase is PodPhase.PENDING
+
+    def test_toleration_admits_pod(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(
+            "tainted", taints=[Taint("dedicated", "mirto")]))
+        pod = cluster.create_pod(small_pod(
+            tolerations=[Taint("dedicated", "mirto")]))
+        cluster.reconcile()
+        assert pod.node_name == "tainted"
+
+    def test_security_level_predicate(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(
+            "weak", labels={"security-level": "low"}))
+        cluster.add_node(small_node(
+            "strong", labels={"security-level": "high"}))
+        pod = cluster.create_pod(small_pod(min_security_level="high"))
+        cluster.reconcile()
+        assert pod.node_name == "strong"
+
+    def test_unready_node_filtered(self):
+        cluster = KubeCluster("c")
+        node = small_node()
+        node.ready = False
+        cluster.add_node(node)
+        pod = cluster.create_pod(small_pod())
+        cluster.reconcile()
+        assert pod.phase is PodPhase.PENDING
+
+    def test_least_allocated_spreads_load(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node("a", cpu=4000))
+        cluster.add_node(small_node("b", cpu=4000))
+        for i in range(4):
+            cluster.create_pod(small_pod(f"p{i}", cpu=1000))
+            cluster.reconcile()
+        placements = [p.node_name for p in cluster.pods.values()]
+        assert placements.count("a") == 2
+        assert placements.count("b") == 2
+
+    def test_label_affinity_bonus(self):
+        scheduler = Scheduler()
+        cluster = KubeCluster("c", scheduler=scheduler)
+        cluster.add_node(small_node("match", labels={"zone": "z1"}))
+        cluster.add_node(small_node("other", labels={"zone": "z2"}))
+        pod = cluster.create_pod(small_pod(labels={"zone": "z1"}))
+        cluster.reconcile()
+        assert pod.node_name == "match"
+
+
+class TestPodLifecycle:
+    def test_duplicate_active_name_rejected(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        cluster.create_pod(small_pod("x"))
+        with pytest.raises(ValidationError):
+            cluster.create_pod(small_pod("x"))
+
+    def test_mark_running_requires_scheduled(self):
+        cluster = KubeCluster("c")
+        pod = cluster.create_pod(small_pod())
+        with pytest.raises(OrchestrationError):
+            cluster.mark_running(pod.uid)
+
+    def test_full_lifecycle(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        pod = cluster.create_pod(small_pod())
+        cluster.reconcile()
+        cluster.mark_running(pod.uid)
+        assert pod.phase is PodPhase.RUNNING
+        cluster.mark_finished(pod.uid)
+        assert pod.phase is PodPhase.SUCCEEDED
+
+    def test_delete_unknown_pod_raises(self):
+        with pytest.raises(NotFoundError):
+            KubeCluster("c").delete_pod("ghost")
+
+    def test_node_failure_evicts_and_reschedules(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node("a"))
+        cluster.add_node(small_node("b"))
+        pod = cluster.create_pod(small_pod())
+        cluster.reconcile()
+        first = pod.node_name
+        cluster.set_node_ready(first, False)
+        assert pod.phase is PodPhase.PENDING
+        assert pod.restarts == 1
+        cluster.reconcile()
+        assert pod.node_name != first
+        assert pod.phase is PodPhase.SCHEDULED
+
+    def test_remove_node_evicts(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        pod = cluster.create_pod(small_pod())
+        cluster.reconcile()
+        cluster.remove_node("n0")
+        assert pod.phase is PodPhase.PENDING
+        with pytest.raises(NotFoundError):
+            cluster.node("n0")
+
+
+class TestDeployments:
+    def test_replicas_created(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        cluster.create_deployment(Deployment(
+            "web", small_pod("web"), replicas=3))
+        cluster.reconcile()
+        assert len(cluster._deployment_pods("web")) == 3
+
+    def test_scale_up_and_down(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        cluster.create_deployment(Deployment(
+            "web", small_pod("web"), replicas=2))
+        cluster.reconcile()
+        cluster.scale_deployment("web", 4)
+        cluster.reconcile()
+        assert len(cluster._deployment_pods("web")) == 4
+        cluster.scale_deployment("web", 1)
+        cluster.reconcile()
+        assert len(cluster._deployment_pods("web")) == 1
+
+    def test_replaces_failed_replicas(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        cluster.create_deployment(Deployment(
+            "svc", small_pod("svc"), replicas=2))
+        cluster.reconcile()
+        victim = cluster._deployment_pods("svc")[0]
+        cluster.mark_running(victim.uid)
+        cluster.mark_finished(victim.uid, succeeded=False)
+        cluster.reconcile()
+        assert len(cluster._deployment_pods("svc")) == 2
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValidationError):
+            Deployment("d", small_pod(), replicas=-1)
+
+    def test_scale_unknown_deployment(self):
+        with pytest.raises(NotFoundError):
+            KubeCluster("c").scale_deployment("ghost", 1)
+
+
+class TestIntrospection:
+    def test_utilization_report(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node(cpu=1000))
+        cluster.create_pod(small_pod(cpu=250))
+        cluster.reconcile()
+        assert cluster.utilization()["n0"] == pytest.approx(0.25)
+
+    def test_events_recorded(self):
+        cluster = KubeCluster("c")
+        cluster.add_node(small_node())
+        cluster.create_pod(small_pod())
+        cluster.reconcile()
+        kinds = [e.kind for e in cluster.events]
+        assert "NodeAdded" in kinds
+        assert "PodCreated" in kinds
+        assert "Scheduled" in kinds

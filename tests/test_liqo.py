@@ -1,0 +1,184 @@
+"""Tests for LIQO-style peering and the continuum federation."""
+
+import pytest
+
+from repro.core.errors import OrchestrationError, ValidationError
+from repro.kube import (
+    ContinuumFederation,
+    KubeCluster,
+    Node,
+    Peering,
+    PodPhase,
+    PodSpec,
+    ResourceRequest,
+)
+
+GIB = 1024**3
+
+
+def cluster_with_node(cluster_name, node_name, cpu=4000, mem=8 * GIB,
+                      security="high"):
+    cluster = KubeCluster(cluster_name)
+    cluster.add_node(Node(node_name, ResourceRequest(cpu, mem),
+                          labels={"security-level": security}))
+    return cluster
+
+
+class TestPeering:
+    def test_virtual_node_mirrors_remote_capacity(self):
+        edge = cluster_with_node("edge", "fpga", cpu=1000)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        peering = Peering(edge, cloud)
+        virtual = edge.node(peering.virtual_node_name)
+        assert virtual.virtual
+        assert virtual.capacity.cpu_millicores == 64000
+
+    def test_self_peering_rejected(self):
+        edge = cluster_with_node("edge", "n")
+        with pytest.raises(ValidationError):
+            Peering(edge, edge)
+
+    def test_double_install_rejected(self):
+        edge = cluster_with_node("edge", "n")
+        cloud = cluster_with_node("cloud", "m")
+        Peering(edge, cloud)
+        with pytest.raises(ValidationError):
+            Peering(edge, cloud)
+
+    def test_local_preferred_when_fits(self):
+        edge = cluster_with_node("edge", "fpga", cpu=4000)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        Peering(edge, cloud)
+        pod = edge.create_pod(PodSpec("small", ResourceRequest(500, GIB)))
+        edge.reconcile()
+        assert pod.node_name == "fpga"
+
+    def test_oversized_pod_offloads(self):
+        edge = cluster_with_node("edge", "fpga", cpu=1000, mem=2 * GIB)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        peering = Peering(edge, cloud)
+        pod = edge.create_pod(PodSpec("big", ResourceRequest(8000, 32 * GIB)))
+        edge.reconcile()
+        assert pod.node_name == peering.virtual_node_name
+        cloud.reconcile()
+        remote = cloud.pod_by_name("edge-big")
+        assert remote.node_name == "srv"
+        assert remote.spec.labels["liqo.io/origin"] == "edge"
+
+    def test_status_reflection(self):
+        edge = cluster_with_node("edge", "fpga", cpu=100)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        peering = Peering(edge, cloud)
+        pod = edge.create_pod(PodSpec("job", ResourceRequest(8000, GIB)))
+        edge.reconcile()
+        cloud.reconcile()
+        remote = cloud.pod_by_name("edge-job")
+        cloud.mark_running(remote.uid)
+        peering.reflect_status()
+        assert pod.phase is PodPhase.RUNNING
+        cloud.mark_finished(remote.uid)
+        peering.reflect_status()
+        assert pod.phase is PodPhase.SUCCEEDED
+
+    def test_security_floor_advertised(self):
+        edge = cluster_with_node("edge", "fpga")
+        mixed = KubeCluster("mixed")
+        mixed.add_node(Node("strong", ResourceRequest(1000, GIB),
+                            labels={"security-level": "high"}))
+        mixed.add_node(Node("weak", ResourceRequest(1000, GIB),
+                            labels={"security-level": "low"}))
+        peering = Peering(edge, mixed)
+        virtual = edge.node(peering.virtual_node_name)
+        assert virtual.labels["security-level"] == "low"
+
+    def test_high_security_pod_never_offloaded_to_weak_cluster(self):
+        edge = cluster_with_node("edge", "fpga", cpu=100, security="high")
+        weak_cloud = cluster_with_node("cloud", "srv", cpu=64000,
+                                       mem=256 * GIB, security="low")
+        Peering(edge, weak_cloud)
+        pod = edge.create_pod(PodSpec(
+            "secret", ResourceRequest(8000, GIB),
+            min_security_level="high"))
+        edge.reconcile()
+        assert pod.phase is PodPhase.PENDING  # nowhere safe to run
+
+    def test_local_delete_cleans_remote(self):
+        edge = cluster_with_node("edge", "fpga", cpu=100)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        peering = Peering(edge, cloud)
+        pod = edge.create_pod(PodSpec("job", ResourceRequest(8000, GIB)))
+        edge.reconcile()
+        cloud.reconcile()
+        edge.delete_pod(pod.uid)
+        peering.reflect_status()
+        assert not any(p.spec.name == "edge-job"
+                       for p in cloud.pods.values())
+
+    def test_teardown_removes_virtual_node_and_remote_pods(self):
+        edge = cluster_with_node("edge", "fpga", cpu=100)
+        cloud = cluster_with_node("cloud", "srv", cpu=64000, mem=256 * GIB)
+        peering = Peering(edge, cloud)
+        local = edge.create_pod(PodSpec("job", ResourceRequest(8000, GIB)))
+        edge.reconcile()
+        cloud.reconcile()
+        peering.teardown()
+        assert peering.virtual_node_name not in edge.nodes
+        assert not cloud.pods
+        # The local pod went back to pending via eviction.
+        assert local.phase is PodPhase.PENDING
+
+    def test_refresh_tracks_remote_load(self):
+        edge = cluster_with_node("edge", "fpga", cpu=100)
+        cloud = cluster_with_node("cloud", "srv", cpu=10000, mem=64 * GIB)
+        peering = Peering(edge, cloud)
+        cloud.create_pod(PodSpec("native", ResourceRequest(6000, GIB)))
+        cloud.reconcile()
+        peering.refresh()
+        virtual = edge.node(peering.virtual_node_name)
+        assert virtual.capacity.cpu_millicores == 4000
+
+
+class TestFederation:
+    def build(self):
+        fed = ContinuumFederation()
+        fed.add_cluster(cluster_with_node("edge", "fpga", cpu=1000,
+                                          mem=2 * GIB))
+        fed.add_cluster(cluster_with_node("fog", "fmdc", cpu=32000,
+                                          mem=128 * GIB))
+        fed.add_cluster(cluster_with_node("cloud", "srv", cpu=64000,
+                                          mem=512 * GIB))
+        fed.peer("edge", "fog")
+        fed.peer("fog", "cloud")
+        return fed
+
+    def test_duplicate_cluster_rejected(self):
+        fed = ContinuumFederation()
+        fed.add_cluster(KubeCluster("a"))
+        with pytest.raises(ValidationError):
+            fed.add_cluster(KubeCluster("a"))
+
+    def test_peer_unknown_cluster_rejected(self):
+        fed = ContinuumFederation()
+        fed.add_cluster(KubeCluster("a"))
+        with pytest.raises(OrchestrationError):
+            fed.peer("a", "ghost")
+
+    def test_vertical_offload_chain(self):
+        fed = self.build()
+        edge = fed.clusters["edge"]
+        # Too big for edge, fits fog.
+        edge.create_pod(PodSpec("medium", ResourceRequest(8000, 16 * GIB)))
+        fed.reconcile_all()
+        fog_pod = fed.clusters["fog"].pod_by_name("edge-medium")
+        assert fog_pod.node_name == "fmdc"
+
+    def test_mixed_workload_distribution(self):
+        fed = self.build()
+        edge = fed.clusters["edge"]
+        edge.create_pod(PodSpec("tiny", ResourceRequest(200, GIB // 2)))
+        edge.create_pod(PodSpec("medium", ResourceRequest(8000, 8 * GIB)))
+        fed.reconcile_all()
+        tiny = edge.pod_by_name("tiny")
+        medium = edge.pod_by_name("medium")
+        assert tiny.node_name == "fpga"
+        assert medium.node_name == "liqo-fog"

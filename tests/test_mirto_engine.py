@@ -1,0 +1,351 @@
+"""Tests for the MIRTO Manager, MAPE loop, agent API and proxies."""
+
+import pytest
+
+from repro.core.errors import NotFoundError, OrchestrationError
+from repro.continuum import Simulator, build_reference_infrastructure
+from repro.continuum.workload import KernelClass, PrivacyClass
+from repro.dpe import ComponentModel, ScenarioModel
+from repro.kube import (
+    ContinuumFederation,
+    KubeCluster,
+    Node,
+    PodPhase,
+    ResourceRequest,
+)
+from repro.mirto import (
+    ApiRequest,
+    CognitiveEngine,
+    DeploymentProxy,
+    EngineConfig,
+    KbProxy,
+    MirtoManager,
+    container_to_pod_spec,
+    service_to_application,
+)
+from repro.kb.store import KnowledgeBase
+from repro.security.levels import SecurityLevel
+
+GIB = 1024**3
+
+
+def mobility_scenario():
+    scenario = ScenarioModel("mobility", latency_budget_s=0.5,
+                             min_security_level="medium")
+    scenario.add_component(ComponentModel(
+        "perception", 800, input_bytes=500_000, kernel=KernelClass.DSP,
+        accelerable=True))
+    scenario.add_component(ComponentModel(
+        "fusion", 3000, kernel=KernelClass.ANALYTICS,
+        privacy=PrivacyClass.AGGREGATED))
+    scenario.add_component(ComponentModel("planning", 1500))
+    scenario.connect("perception", "fusion", 100_000)
+    scenario.connect("fusion", "planning", 20_000)
+    return scenario
+
+
+@pytest.fixture
+def engine():
+    return CognitiveEngine(EngineConfig(seed=1))
+
+
+class TestServiceTranslation:
+    def test_containers_become_tasks(self):
+        service = mobility_scenario().to_service_template()
+        app = service_to_application(service)
+        assert {t.name for t in app.tasks} \
+            == {"perception", "fusion", "planning"}
+        assert app.task("perception").kernel == KernelClass.DSP
+
+    def test_policies_carry_into_requirements(self):
+        service = mobility_scenario().to_service_template()
+        app = service_to_application(service)
+        assert app.task("fusion").requirements.privacy \
+            == PrivacyClass.AGGREGATED
+        assert app.task("planning").requirements.min_security_level \
+            == "medium"
+        assert app.task("planning").requirements.latency_budget_s == 0.5
+
+    def test_connections_become_edges(self):
+        service = mobility_scenario().to_service_template()
+        app = service_to_application(service)
+        assert app.predecessors("fusion") == ["perception"]
+
+
+class TestMirtoManager:
+    def test_deploy_produces_outcome(self, engine):
+        service = mobility_scenario().to_service_template()
+        outcome = engine.manager.deploy(service, strategy="greedy")
+        assert outcome.report.makespan_s > 0
+        assert outcome.security_level == "medium"
+        assert set(outcome.placement.assignment) \
+            == {"perception", "fusion", "planning"}
+
+    def test_privacy_respected_in_placement(self, engine):
+        service = mobility_scenario().to_service_template()
+        outcome = engine.manager.deploy(service, strategy="greedy")
+        fusion_device = engine.infrastructure.device(
+            outcome.placement.device_of("fusion"))
+        assert fusion_device.spec.layer.value in ("edge", "fog")
+
+    def test_node_manager_configures_operating_points(self, engine):
+        service = mobility_scenario().to_service_template()
+        engine.manager.deploy(service, strategy="greedy")
+        # At least the devices used should carry a concrete point.
+        assert engine.manager.node_manager.switches >= 0
+
+    def test_security_manager_tracks_trust(self, engine):
+        service = mobility_scenario().to_service_template()
+        outcome = engine.manager.deploy(service)
+        for device in set(outcome.placement.assignment.values()):
+            assert engine.manager.security.trust.trust(device) != 0.5 \
+                or engine.manager.security.trust.known_components()
+
+    def test_required_level_parsing(self, engine):
+        service = mobility_scenario().to_service_template()
+        level = engine.manager.security.required_level(service)
+        assert level is SecurityLevel.MEDIUM
+
+    def test_empty_service_rejected(self, engine):
+        from repro.tosca.model import ServiceTemplate
+        with pytest.raises(OrchestrationError):
+            engine.manager.deploy(ServiceTemplate("empty"))
+
+
+class TestNetworkManager:
+    def test_transfer_cost_positive(self, engine):
+        cost = engine.manager.network.transfer_cost(
+            "fpga-00-0", "cloud-00", 1_000_000)
+        assert cost > 0
+
+    def test_slice_reservation(self, engine):
+        net_slice = engine.manager.network.reserve_slice(
+            "critical", "mobility", "fpga-00-0", "fmdc-00", 0.3)
+        assert net_slice.fraction == 0.3
+        assert engine.manager.network.slices.slice_bandwidth(
+            "critical") > 0
+
+    def test_congestion_state_bounded(self, engine):
+        state = engine.manager.network.congestion_state()
+        assert 0 <= state <= 4
+
+    def test_advice_returns_layer(self, engine):
+        from repro.continuum.devices import Layer
+        layer = engine.manager.network.advise_layer()
+        assert isinstance(layer, Layer)
+
+
+class TestMapeLoop:
+    def test_iteration_record(self, engine):
+        record = engine.mape.iterate()
+        assert record.sensed_components == len(engine.infrastructure)
+        assert record.iteration == 0
+
+    def test_underload_switches_to_low_power(self, engine):
+        engine.mape.iterate()
+        # Idle infrastructure: every reconfigurable device should end up
+        # in low-power.
+        fpga = engine.infrastructure.device("fpga-00-0")
+        assert fpga.operating_point.name == "low-power"
+
+    def test_sense_populates_registry(self, engine):
+        engine.mape.iterate()
+        status = engine.registry.status("fpga-00-0")
+        assert "utilization" in status
+        assert "operating_point" in status
+
+    def test_trust_drop_triggers_flag(self, engine):
+        from repro.security.trust import InteractionOutcome
+        for _ in range(10):
+            engine.manager.security.trust.observe(
+                "cloud-00", InteractionOutcome(0, False, 0.0))
+        record = engine.mape.iterate()
+        kinds = {(t.kind, t.component) for t in record.triggers}
+        assert ("trust-drop", "cloud-00") in kinds
+        advice = engine.registry.status("reallocation/cloud-00")
+        assert advice["advice"] == "avoid"
+
+    def test_repeated_iterations_stable(self, engine):
+        records = engine.mape_iterate(3)
+        # Second pass should execute fewer actions (already configured).
+        assert records[1].executed <= records[0].executed
+
+
+class TestAgentApi:
+    def make_request(self, engine, body, token=None):
+        return ApiRequest(
+            method="POST", path="/deployments",
+            token=token if token is not None
+            else engine.operator_token(), body=body)
+
+    def test_deploy_via_api(self, engine):
+        from repro.tosca.parser import dump_service_template
+        service = mobility_scenario().to_service_template()
+        response = engine.deploy(service, strategy="greedy")
+        assert response.status == 201
+        assert response.body["deadline_met"] in (True, False)
+        assert response.body["security_level"] == "medium"
+
+    def test_bad_token_rejected(self, engine):
+        response = engine.agent().handle(self.make_request(
+            engine, {"tosca": ""}, token=b"garbage"))
+        assert response.status == 401
+
+    def test_invalid_tosca_rejected(self, engine):
+        bad = """
+tosca_definitions_version: myrtus_tosca_1_0
+topology_template:
+  node_templates:
+    thing:
+      type: myrtus.nodes.Container
+      properties: {image: x}
+"""
+        response = engine.agent().handle(
+            self.make_request(engine, {"tosca": bad}))
+        assert response.status == 422
+        assert response.body["problems"]
+
+    def test_unknown_route(self, engine):
+        response = engine.agent().handle(ApiRequest(
+            "POST", "/nonsense", token=engine.operator_token()))
+        assert response.status == 404
+
+    def test_status_route(self, engine):
+        response = engine.agent().handle(ApiRequest(
+            "GET", "/status", token=engine.operator_token()))
+        assert response.status == 200
+        assert response.body["layer"] == "edge"
+        assert len(response.body["peers"]) == 2
+
+    def test_deployments_listing(self, engine):
+        engine.deploy(mobility_scenario().to_service_template())
+        response = engine.agent().handle(ApiRequest(
+            "GET", "/deployments", token=engine.operator_token()))
+        assert response.status == 200
+        assert len(response.body) == 1
+
+    def test_auditor_cannot_deploy(self, engine):
+        agent = engine.agent()
+        agent.auth.register_user("aud", ["auditor"])
+        token = agent.auth.issue_token("aud")
+        response = agent.handle(self.make_request(
+            engine, {"tosca": ""}, token=token))
+        assert response.status == 403
+
+    def test_csar_deployment(self, engine):
+        from repro.tosca.csar import CsarArchive
+        service = mobility_scenario().to_service_template()
+        archive = CsarArchive(service)
+        response = engine.agent().handle(self.make_request(
+            engine, {"csar": archive.to_bytes()}))
+        assert response.status == 201
+
+
+class TestKbProxy:
+    def test_namespacing(self):
+        kb = KnowledgeBase(replicas=1, seed=0)
+        a = KbProxy(kb, "agent-a")
+        b = KbProxy(kb, "agent-b")
+        a.put("state", 1)
+        b.put("state", 2)
+        assert a.get("state") == 1
+        assert b.get("state") == 2
+        assert a.range() == {"state": 1}
+
+    def test_bad_namespace_rejected(self):
+        kb = KnowledgeBase(replicas=1, seed=0)
+        with pytest.raises(OrchestrationError):
+            KbProxy(kb, "has/slash")
+
+    def test_watch_scoped(self):
+        kb = KnowledgeBase(replicas=1, seed=0)
+        a = KbProxy(kb, "agent-a")
+        b = KbProxy(kb, "agent-b")
+        events = []
+        a.watch("", events.append)
+        b.put("noise", 1)
+        a.put("signal", 2)
+        assert len(events) == 1
+
+
+class TestDeploymentProxy:
+    def federation(self):
+        fed = ContinuumFederation()
+        edge = KubeCluster("edge")
+        edge.add_node(Node("fpga", ResourceRequest(2000, 2 * GIB),
+                           labels={"security-level": "high"}))
+        cloud = KubeCluster("cloud")
+        cloud.add_node(Node("srv", ResourceRequest(64000, 256 * GIB),
+                            labels={"security-level": "high"}))
+        fed.add_cluster(edge)
+        fed.add_cluster(cloud)
+        fed.peer("edge", "cloud")
+        return fed
+
+    def test_pod_spec_translation(self):
+        service = mobility_scenario().to_service_template()
+        spec = container_to_pod_spec(service, "perception")
+        assert spec.name == "mobility-perception"
+        assert spec.min_security_level == "medium"
+        assert spec.request.cpu_millicores == 800
+
+    def test_deploy_service_places_all_pods(self):
+        fed = self.federation()
+        proxy = DeploymentProxy(fed, "edge")
+        service = mobility_scenario().to_service_template()
+        record = proxy.deploy_service(service)
+        phases = proxy.service_phases("mobility")
+        assert len(phases) == 3
+        assert all(phase in ("Scheduled", "Running")
+                   for phase in phases.values())
+
+    def test_rollback_on_unplaceable(self):
+        fed = ContinuumFederation()
+        tiny = KubeCluster("tiny")
+        tiny.add_node(Node("n", ResourceRequest(100, GIB // 4),
+                           labels={"security-level": "high"}))
+        fed.add_cluster(tiny)
+        proxy = DeploymentProxy(fed, "tiny")
+        service = mobility_scenario().to_service_template()
+        with pytest.raises(OrchestrationError, match="unplaceable"):
+            proxy.deploy_service(service)
+        assert not tiny.pods  # everything rolled back
+
+    def test_undeploy_cleans_up(self):
+        fed = self.federation()
+        proxy = DeploymentProxy(fed, "edge")
+        service = mobility_scenario().to_service_template()
+        proxy.deploy_service(service)
+        proxy.undeploy_service("mobility")
+        assert not fed.clusters["edge"].pods
+        with pytest.raises(NotFoundError):
+            proxy.service_phases("mobility")
+
+    def test_duplicate_deploy_rejected(self):
+        fed = self.federation()
+        proxy = DeploymentProxy(fed, "edge")
+        service = mobility_scenario().to_service_template()
+        proxy.deploy_service(service)
+        with pytest.raises(OrchestrationError):
+            proxy.deploy_service(service)
+
+
+class TestNegotiation:
+    def test_agent_negotiates_when_local_placement_fails(self):
+        """An edge-only agent with impossible constraints asks a peer."""
+        sim = Simulator()
+        # Tiny infrastructure: only a RISC-V (low security) at the edge.
+        from repro.continuum.infrastructure import Infrastructure
+        from repro.continuum.devices import DeviceKind
+        lone = Infrastructure(sim)
+        lone.add_device(DeviceKind.RISCV_CGRA, name="riscv")
+        lone_manager = MirtoManager(lone)
+        full_engine = CognitiveEngine(EngineConfig(seed=2))
+        from repro.mirto.agent import MirtoAgent
+        weak_agent = MirtoAgent("weak-edge", "edge", lone_manager)
+        weak_agent.peer_with(full_engine.agent("cloud"))
+        service = mobility_scenario().to_service_template()  # medium sec
+        outcome = weak_agent.deploy_or_negotiate(service)
+        assert outcome.report.makespan_s > 0
+        assert weak_agent.negotiations
+        assert weak_agent.negotiations[-1].accepted

@@ -1,0 +1,220 @@
+"""Unit tests for the network substrate: topology, protocols, slicing."""
+
+import pytest
+
+from repro.core.errors import CapacityError, ConfigurationError, NotFoundError
+from repro.continuum.simulator import Simulator
+from repro.net import (
+    CoapAdapter,
+    HttpAdapter,
+    Message,
+    MqttAdapter,
+    Network,
+    SliceManager,
+)
+from repro.net.protocols import negotiate
+
+
+def linear_network(sim):
+    """a -- b -- c with distinct latencies/bandwidths."""
+    net = Network(sim)
+    net.add_link("a", "b", latency_s=0.010, bandwidth_bps=1e6)
+    net.add_link("b", "c", latency_s=0.020, bandwidth_bps=2e6)
+    return net
+
+
+class TestTopology:
+    def test_self_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network(Simulator()).add_link("a", "a", 0.01, 1e6)
+
+    def test_path_and_latency(self):
+        net = linear_network(Simulator())
+        assert net.path("a", "c") == ["a", "b", "c"]
+        assert net.path_latency("a", "c") == pytest.approx(0.030)
+
+    def test_shortest_path_prefers_low_latency(self):
+        net = linear_network(Simulator())
+        net.add_link("a", "c", latency_s=0.005, bandwidth_bps=1e6)
+        assert net.path("a", "c") == ["a", "c"]
+
+    def test_unknown_host_raises(self):
+        net = linear_network(Simulator())
+        with pytest.raises(NotFoundError):
+            net.path("a", "ghost")
+
+    def test_disconnected_raises(self):
+        net = linear_network(Simulator())
+        net.add_host("island")
+        with pytest.raises(NotFoundError):
+            net.path("a", "island")
+
+    def test_estimate_uses_bottleneck(self):
+        net = linear_network(Simulator())
+        # 1 MB over bottleneck 1e6 bps = 8 s + 30 ms latency.
+        est = net.estimate_transfer_time("a", "c", 1_000_000)
+        assert est == pytest.approx(8.030)
+
+    def test_estimate_same_host_zero(self):
+        net = linear_network(Simulator())
+        assert net.estimate_transfer_time("a", "a", 12345) == 0.0
+
+
+class TestTransfer:
+    def test_transfer_takes_modelled_time(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        p = sim.process(net.transfer("a", "c", 100_000))
+        result = sim.run(until=p)
+        assert result.duration_s == pytest.approx(0.030 + 800_000 / 1e6)
+        assert result.hops == 2
+
+    def test_same_host_transfer_instant(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        p = sim.process(net.transfer("a", "a", 100_000))
+        result = sim.run(until=p)
+        assert result.duration_s == 0.0
+        assert result.hops == 0
+
+    def test_contention_slows_concurrent_flows(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        p1 = sim.process(net.transfer("a", "b", 100_000))
+        p2 = sim.process(net.transfer("a", "b", 100_000))
+        sim.run()
+        solo_time = 0.010 + 800_000 / 1e6
+        # First flow sees an empty link; second samples 1 active flow and
+        # gets half the bandwidth.
+        assert p1.value.duration_s == pytest.approx(solo_time)
+        assert p2.value.duration_s > solo_time * 1.5
+
+    def test_flow_counters_return_to_zero(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        sim.run(until=sim.process(net.transfer("a", "c", 1000)))
+        assert all(link.active_flows == 0 for link in net.links)
+
+    def test_bytes_accounted_per_link(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        sim.run(until=sim.process(net.transfer("a", "c", 1000,
+                                               wire_overhead=100)))
+        report = net.utilization_report()
+        assert report[("a", "b")] == 1100
+        assert report[("b", "c")] == 1100
+
+    def test_hotspots_ranked(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        sim.run(until=sim.process(net.transfer("b", "c", 5000)))
+        sim.run(until=sim.process(net.transfer("a", "b", 100)))
+        hot = net.congestion_hotspots(top=1)
+        assert hot[0].key() == ("b", "c")
+
+
+class TestProtocols:
+    def message(self):
+        return Message(src="fpga-0", dst="gw-0", topic="telemetry",
+                       payload={"util": 0.5, "temp": 41})
+
+    def test_http_roundtrip(self):
+        adapter = HttpAdapter()
+        wire = adapter.frame(self.message())
+        assert adapter.unframe(wire) == {"util": 0.5, "temp": 41}
+        assert b"POST /telemetry" in wire
+
+    def test_mqtt_roundtrip(self):
+        adapter = MqttAdapter()
+        assert adapter.unframe(adapter.frame(self.message())) == \
+            self.message().payload
+
+    def test_coap_roundtrip(self):
+        adapter = CoapAdapter()
+        assert adapter.unframe(adapter.frame(self.message())) == \
+            self.message().payload
+
+    def test_wire_bytes_exceed_payload(self):
+        msg = self.message()
+        for adapter in (HttpAdapter(), MqttAdapter(), CoapAdapter()):
+            assert adapter.wire_bytes(msg) > len(msg.encode())
+
+    def test_http_heaviest_overhead(self):
+        msg = self.message()
+        assert (HttpAdapter().wire_bytes(msg)
+                > MqttAdapter().wire_bytes(msg))
+
+    def test_handshake_latency_ordering(self):
+        rtt = 0.05
+        assert HttpAdapter().handshake_latency(rtt) > \
+            MqttAdapter().handshake_latency(rtt) > \
+            CoapAdapter().handshake_latency(rtt) == 0
+
+    def test_negotiate_prefers_offered_order(self):
+        adapter = negotiate(["mqtt", "http"], ["http", "mqtt", "coap"])
+        assert adapter.name == "mqtt"
+
+    def test_negotiate_no_common_raises(self):
+        from repro.core.errors import ValidationError
+        with pytest.raises(ValidationError):
+            negotiate(["mqtt"], ["http"])
+
+    def test_malformed_frame_rejected(self):
+        from repro.core.errors import ValidationError
+        with pytest.raises(ValidationError):
+            HttpAdapter().unframe(b"garbage-without-separator")
+
+
+class TestSlicing:
+    def make(self):
+        sim = Simulator()
+        net = linear_network(sim)
+        return net, SliceManager(net)
+
+    def test_create_slice_reserves_fraction(self):
+        net, mgr = self.make()
+        mgr.create_slice("s1", "tenant", "a", "c", fraction=0.4)
+        assert mgr.reserved_fraction("a", "b") == pytest.approx(0.4)
+        assert mgr.reserved_fraction("b", "c") == pytest.approx(0.4)
+
+    def test_slice_bandwidth_is_bottleneck_share(self):
+        net, mgr = self.make()
+        mgr.create_slice("s1", "t", "a", "c", fraction=0.5)
+        assert mgr.slice_bandwidth("s1") == pytest.approx(0.5e6)
+
+    def test_overcommit_rejected_atomically(self):
+        net, mgr = self.make()
+        mgr.create_slice("s1", "t", "a", "c", fraction=0.7)
+        with pytest.raises(CapacityError):
+            mgr.create_slice("s2", "t", "a", "b", fraction=0.5)
+        # Nothing from the failed request may linger.
+        assert mgr.reserved_fraction("a", "b") == pytest.approx(0.7)
+
+    def test_release_restores_capacity(self):
+        net, mgr = self.make()
+        mgr.create_slice("s1", "t", "a", "c", fraction=0.7)
+        mgr.release_slice("s1")
+        assert mgr.reserved_fraction("a", "b") == pytest.approx(0.0)
+        mgr.create_slice("s2", "t", "a", "b", fraction=0.9)
+
+    def test_best_effort_bandwidth_shrinks(self):
+        net, mgr = self.make()
+        assert mgr.best_effort_bandwidth("a", "b") == pytest.approx(1e6)
+        mgr.create_slice("s1", "t", "a", "b", fraction=0.25)
+        assert mgr.best_effort_bandwidth("a", "b") == pytest.approx(0.75e6)
+
+    def test_duplicate_name_rejected(self):
+        net, mgr = self.make()
+        mgr.create_slice("s1", "t", "a", "b", fraction=0.1)
+        with pytest.raises(CapacityError):
+            mgr.create_slice("s1", "t", "b", "c", fraction=0.1)
+
+    def test_invalid_fraction_rejected(self):
+        net, mgr = self.make()
+        with pytest.raises(CapacityError):
+            mgr.create_slice("s1", "t", "a", "b", fraction=1.5)
+
+    def test_release_unknown_raises(self):
+        net, mgr = self.make()
+        with pytest.raises(NotFoundError):
+            mgr.release_slice("ghost")

@@ -1,0 +1,333 @@
+"""Property-based tests (hypothesis) on core data structures/invariants.
+
+Covers the invariants that matter across the whole reproduction:
+Raft log safety under arbitrary fault schedules, KV-store convergence,
+SDF balance-equation properties, base2 quantization bounds, scheduler
+feasibility, slice conservation, and placement-estimate monotonicity.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dpe.mlir.ir import Base2Type
+from repro.kb import KnowledgeBase
+from repro.kb.raft import RaftCluster, Role
+
+
+# -- Raft safety under random fault schedules ------------------------------------
+
+
+@st.composite
+def fault_schedules(draw):
+    """A random interleaving of proposes, crashes, restarts, partitions."""
+    events = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("propose"), st.integers(0, 99)),
+            st.tuples(st.just("crash"), st.integers(0, 4)),
+            st.tuples(st.just("restart"), st.integers(0, 4)),
+            st.tuples(st.just("partition"), st.integers(0, 4),
+                      st.integers(0, 4)),
+            st.tuples(st.just("heal")),
+            st.tuples(st.just("tick"), st.integers(1, 40)),
+        ),
+        min_size=5, max_size=25))
+    return events
+
+
+class TestRaftSafetyProperties:
+    @given(schedule=fault_schedules(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_applied_logs_are_always_prefix_consistent(self, schedule,
+                                                       seed):
+        """State-machine safety: no two replicas ever apply different
+        commands at the same index, regardless of the fault schedule."""
+        names = [f"n{i}" for i in range(5)]
+        applied = {name: [] for name in names}
+        cluster = RaftCluster(
+            names, random.Random(seed),
+            apply_fns={name: applied[name].append for name in names})
+        stopped: set[str] = set()
+        for event in schedule:
+            kind = event[0]
+            if kind == "propose":
+                leader = cluster.leader()
+                if leader is not None and leader not in stopped:
+                    try:
+                        cluster.nodes[leader].propose(event[1])
+                    except Exception:
+                        pass
+            elif kind == "crash":
+                name = names[event[1]]
+                cluster.stop(name)
+                stopped.add(name)
+            elif kind == "restart":
+                name = names[event[1]]
+                cluster.restart(name)
+                stopped.discard(name)
+            elif kind == "partition":
+                a, b = names[event[1]], names[event[2]]
+                if a != b:
+                    cluster.partition(a, b)
+            elif kind == "heal":
+                cluster.heal()
+            elif kind == "tick":
+                cluster.tick(event[1])
+        cluster.heal()
+        for name in list(stopped):
+            cluster.restart(name)
+        cluster.tick(200)
+        logs = list(applied.values())
+        longest = max(logs, key=len)
+        for log in logs:
+            assert log == longest[:len(log)]
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_at_most_one_leader_per_term(self, seed):
+        cluster = RaftCluster([f"n{i}" for i in range(5)],
+                              random.Random(seed))
+        leaders_by_term: dict[int, set[str]] = {}
+        for _ in range(150):
+            cluster.tick()
+            for name, node in cluster.nodes.items():
+                if node.role is Role.LEADER:
+                    leaders_by_term.setdefault(
+                        node.current_term, set()).add(name)
+        for term, leaders in leaders_by_term.items():
+            assert len(leaders) == 1, f"term {term}: {leaders}"
+
+
+class TestKvStoreProperties:
+    @given(ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("put"),
+                      st.text("abc", min_size=1, max_size=3),
+                      st.integers(0, 100)),
+            st.tuples(st.just("delete"),
+                      st.text("abc", min_size=1, max_size=3)),
+        ), min_size=1, max_size=15), seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_store_matches_reference_dict(self, ops, seed):
+        """The replicated store behaves exactly like a plain dict."""
+        kb = KnowledgeBase(replicas=3, seed=seed)
+        reference: dict[str, int] = {}
+        for op in ops:
+            if op[0] == "put":
+                kb.put(op[1], op[2])
+                reference[op[1]] = op[2]
+            else:
+                kb.delete(op[1])
+                reference.pop(op[1], None)
+        assert kb.range("") == reference
+        kb.tick(60)
+        for state in kb.replica_states().values():
+            assert state == reference
+
+    @given(keys=st.lists(st.text("xyz", min_size=1, max_size=2),
+                         min_size=1, max_size=8))
+    @settings(max_examples=10, deadline=None)
+    def test_revision_strictly_increases_on_writes(self, keys):
+        kb = KnowledgeBase(replicas=1, seed=0)
+        last = kb.revision
+        for i, key in enumerate(keys):
+            kb.put(key, i)
+            assert kb.revision > last
+            last = kb.revision
+
+
+class TestBase2Properties:
+    @given(width=st.integers(4, 24), frac_ratio=st.floats(0.1, 0.9),
+           value=st.floats(-1000, 1000))
+    @settings(max_examples=100)
+    def test_quantize_within_half_step_or_clamped(self, width,
+                                                  frac_ratio, value):
+        frac = max(0, min(width, int(width * frac_ratio)))
+        fx = Base2Type(width, frac)
+        raw = fx.quantize(value)
+        recovered = fx.dequantize(raw)
+        if fx.min_value <= value <= fx.max_value:
+            assert abs(recovered - value) <= fx.scale / 2 + 1e-9
+        else:
+            assert recovered in (fx.min_value, fx.max_value)
+
+    @given(width=st.integers(4, 20), a=st.floats(-5, 5),
+           b=st.floats(-5, 5))
+    @settings(max_examples=50)
+    def test_quantization_is_monotone(self, width, a, b):
+        fx = Base2Type(width, width // 2)
+        if a <= b:
+            assert fx.quantize(a) <= fx.quantize(b)
+
+
+class TestSdfProperties:
+    @given(rates=st.lists(st.integers(1, 6), min_size=2, max_size=5))
+    @settings(max_examples=30)
+    def test_chain_repetition_vector_balances_every_channel(self, rates):
+        """For any rate chain, the repetition vector satisfies the
+        balance equation reps[src]*prod == reps[dst]*cons on every
+        channel, and is minimal (gcd 1)."""
+        from math import gcd
+        from repro.dpe.mlir.dataflow import Actor, DataflowGraph
+        from repro.dpe.mlir.ir import Builder, F32, Module
+        module = Module("m")
+        builder = Builder(module, "ident", [F32])
+        builder.ret([builder.args[0]])
+        graph = DataflowGraph("chain", module)
+        n = len(rates)
+        for i in range(n):
+            graph.add_actor(Actor(
+                f"a{i}", "ident",
+                input_rates=(rates[i - 1],) if i > 0 else (1,),
+                output_rates=(rates[i],)))
+        for i in range(n - 1):
+            graph.connect(f"a{i}", 0, f"a{i + 1}", 0)
+        reps = graph.repetition_vector()
+        for i in range(n - 1):
+            assert reps[f"a{i}"] * rates[i] \
+                == reps[f"a{i + 1}"] * rates[i]
+        overall = 0
+        for value in reps.values():
+            overall = gcd(overall, value)
+        assert overall == 1
+
+
+class TestSchedulerProperties:
+    @given(cpus=st.lists(st.integers(100, 4000), min_size=1, max_size=4),
+           requests=st.lists(st.integers(50, 2000), min_size=1,
+                             max_size=8))
+    @settings(max_examples=30)
+    def test_scheduler_never_overcommits(self, cpus, requests):
+        from repro.kube import (
+            KubeCluster,
+            Node,
+            PodSpec,
+            ResourceRequest,
+        )
+        cluster = KubeCluster("prop")
+        for i, cpu in enumerate(cpus):
+            cluster.add_node(Node(f"n{i}", ResourceRequest(cpu, 8 * 1024**3)))
+        for i, cpu in enumerate(requests):
+            cluster.create_pod(PodSpec(f"p{i}",
+                                       ResourceRequest(cpu, 1024**2)))
+        cluster.reconcile()
+        for node in cluster.nodes.values():
+            free = cluster.node_free(node)
+            assert free.cpu_millicores >= 0
+            assert free.memory_bytes >= 0
+
+
+class TestSliceProperties:
+    @given(fractions=st.lists(st.floats(0.05, 0.5), min_size=1,
+                              max_size=6))
+    @settings(max_examples=30)
+    def test_reserved_fraction_never_exceeds_one(self, fractions):
+        from repro.core.errors import CapacityError
+        from repro.continuum.simulator import Simulator
+        from repro.net import Network, SliceManager
+        network = Network(Simulator())
+        network.add_link("a", "b", 0.01, 1e9)
+        manager = SliceManager(network)
+        for i, fraction in enumerate(fractions):
+            try:
+                manager.create_slice(f"s{i}", "t", "a", "b", fraction)
+            except CapacityError:
+                pass
+            assert manager.reserved_fraction("a", "b") <= 1.0 + 1e-9
+
+
+class TestPlacementEstimateProperties:
+    @given(scale=st.floats(1.1, 4.0), seed=st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_scaling_work_never_reduces_estimated_latency(self, scale,
+                                                          seed):
+        from repro.continuum import Simulator, build_reference_infrastructure
+        from repro.continuum.workload import Application, Task
+        from repro.mirto.placement import (
+            Placement,
+            estimate_placement_kpis,
+        )
+        infrastructure = build_reference_infrastructure(Simulator())
+        rng = random.Random(seed)
+        app = Application("p")
+        app.add_task(Task("x", megaops=rng.uniform(100, 1000)))
+        app.add_task(Task("y", megaops=rng.uniform(100, 1000)))
+        app.connect("x", "y", 10_000)
+        devices = list(infrastructure.devices)
+        placement = Placement({"x": rng.choice(devices),
+                               "y": rng.choice(devices)}, "prop")
+        lat1, en1 = estimate_placement_kpis(app, placement,
+                                            infrastructure)
+        bigger = Application("p2")
+        bigger.add_task(app.task("x").scaled(scale))
+        bigger.add_task(app.task("y").scaled(scale))
+        bigger.connect("x", "y", 10_000)
+        lat2, en2 = estimate_placement_kpis(bigger, placement,
+                                            infrastructure)
+        assert lat2 >= lat1
+        assert en2 >= en1
+
+
+class TestRaftSnapshotSafetyProperties:
+    @given(schedule=fault_schedules(), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_safety_holds_with_compaction_enabled(self, schedule, seed):
+        """State-machine safety must survive arbitrary fault schedules
+        even while nodes compact their logs and ship snapshots."""
+        names = [f"n{i}" for i in range(5)]
+        applied = {name: [] for name in names}
+        state = {name: [] for name in names}
+
+        def make_apply(name):
+            def apply(cmd):
+                applied[name].append(cmd)
+                state[name].append(cmd)
+            return apply
+
+        cluster = RaftCluster(
+            names, random.Random(seed),
+            apply_fns={name: make_apply(name) for name in names},
+            snapshot_fns={name: (lambda n=name: list(state[n]))
+                          for name in names},
+            restore_fns={name: (lambda snap, n=name:
+                                (state[n].clear(),
+                                 state[n].extend(snap)))
+                         for name in names},
+            snapshot_threshold=4)
+        stopped: set[str] = set()
+        for event in schedule:
+            kind = event[0]
+            if kind == "propose":
+                leader = cluster.leader()
+                if leader is not None and leader not in stopped:
+                    try:
+                        cluster.nodes[leader].propose(event[1])
+                    except Exception:
+                        pass
+            elif kind == "crash":
+                cluster.stop(names[event[1]])
+                stopped.add(names[event[1]])
+            elif kind == "restart":
+                cluster.restart(names[event[1]])
+                stopped.discard(names[event[1]])
+            elif kind == "partition":
+                a, b = names[event[1]], names[event[2]]
+                if a != b:
+                    cluster.partition(a, b)
+            elif kind == "heal":
+                cluster.heal()
+            elif kind == "tick":
+                cluster.tick(event[1])
+        cluster.heal()
+        for name in list(stopped):
+            cluster.restart(name)
+        cluster.tick(250)
+        # The *state machines* (full history incl. snapshot restores)
+        # must agree on a common prefix.
+        logs = list(state.values())
+        longest = max(logs, key=len)
+        for log in logs:
+            assert log == longest[:len(log)]

@@ -1,0 +1,184 @@
+"""Tests for the from-scratch Raft implementation."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConsensusError
+from repro.kb.raft import RaftCluster, Role
+
+
+def make_cluster(n=3, seed=0, **kwargs):
+    applied = {f"n{i}": [] for i in range(n)}
+    cluster = RaftCluster(
+        [f"n{i}" for i in range(n)],
+        random.Random(seed),
+        apply_fns={name: applied[name].append for name in applied},
+        **kwargs,
+    )
+    return cluster, applied
+
+
+class TestElection:
+    def test_single_leader_elected(self):
+        cluster, _ = make_cluster()
+        leader = cluster.run_until_leader()
+        assert leader in cluster.nodes
+        roles = [n.role for n in cluster.nodes.values()]
+        assert roles.count(Role.LEADER) == 1
+
+    def test_leader_stable_without_failures(self):
+        cluster, _ = make_cluster()
+        leader = cluster.run_until_leader()
+        term = cluster.nodes[leader].current_term
+        cluster.tick(200)
+        assert cluster.leader() == leader
+        assert cluster.nodes[leader].current_term == term
+
+    def test_new_leader_after_leader_crash(self):
+        cluster, _ = make_cluster(n=5)
+        first = cluster.run_until_leader()
+        cluster.stop(first)
+        second = cluster.run_until_leader()
+        assert second != first
+
+    def test_no_leader_without_majority(self):
+        cluster, _ = make_cluster(n=3)
+        leader = cluster.run_until_leader()
+        others = [n for n in cluster.nodes if n != leader]
+        cluster.stop(others[0])
+        cluster.stop(others[1])
+        cluster.stop(leader)
+        cluster.restart(leader)  # alone: can never win an election
+        cluster.tick(200)
+        # The sole survivor keeps campaigning but never wins.
+        assert cluster.leader() is None
+        assert cluster.nodes[leader].role is not Role.LEADER
+
+    def test_isolated_leader_superseded(self):
+        cluster, _ = make_cluster(n=3, seed=3)
+        old = cluster.run_until_leader()
+        cluster.isolate(old)
+        cluster.tick(100)
+        live_leaders = [name for name, n in cluster.nodes.items()
+                        if n.role is Role.LEADER and name != old]
+        assert len(live_leaders) == 1
+        # The new leader's term exceeds the isolated one's original term.
+        assert cluster.nodes[live_leaders[0]].current_term > 1
+
+    def test_five_node_cluster_tolerates_two_failures(self):
+        cluster, _ = make_cluster(n=5, seed=7)
+        leader = cluster.run_until_leader()
+        others = [n for n in cluster.nodes if n != leader]
+        cluster.stop(others[0])
+        cluster.stop(others[1])
+        cluster.propose({"k": 1})  # still has a 3/5 majority
+        cluster.tick(30)
+        live = [n for n in cluster.nodes
+                if n not in (others[0], others[1])]
+        assert all({"k": 1} in
+                   [e.command for e in cluster.nodes[n].log
+                    if e.command is not None]
+                   for n in live)
+
+
+class TestReplication:
+    def test_commands_apply_on_all_replicas(self):
+        cluster, applied = make_cluster()
+        for i in range(5):
+            cluster.propose(i)
+        cluster.tick(30)  # let followers learn the commit index
+        for log in applied.values():
+            assert log == [0, 1, 2, 3, 4]
+
+    def test_commit_requires_majority(self):
+        cluster, applied = make_cluster(n=3, seed=1)
+        leader = cluster.run_until_leader()
+        others = [n for n in cluster.nodes if n != leader]
+        cluster.partition(leader, others[0])
+        cluster.partition(leader, others[1])
+        node = cluster.nodes[leader]
+        node.propose("lost")
+        cluster.tick(50)
+        assert node.commit_index == 0
+        assert all(log == [] for log in applied.values())
+
+    def test_minority_leader_entry_overwritten(self):
+        """The core Raft safety property: an uncommitted entry on an
+        isolated leader is replaced by the new majority's entries."""
+        cluster, applied = make_cluster(n=3, seed=5)
+        old = cluster.run_until_leader()
+        cluster.isolate(old)
+        cluster.nodes[old].propose("doomed")
+        cluster.tick(80)  # majority elects a new leader
+        cluster.propose("survives")
+        cluster.heal()
+        cluster.tick(100)
+        for name, log in applied.items():
+            assert "doomed" not in log, name
+            assert "survives" in log, name
+
+    def test_crashed_follower_catches_up(self):
+        cluster, applied = make_cluster(n=3, seed=2)
+        leader = cluster.run_until_leader()
+        follower = next(n for n in cluster.nodes if n != leader)
+        cluster.stop(follower)
+        for i in range(4):
+            cluster.propose(i)
+        cluster.restart(follower)
+        cluster.tick(100)
+        assert applied[follower] == [0, 1, 2, 3]
+
+    def test_replication_with_message_loss(self):
+        cluster, applied = make_cluster(n=3, seed=4, drop_probability=0.2)
+        for i in range(5):
+            cluster.propose(i, settle_ticks=200)
+        cluster.tick(200)
+        for log in applied.values():
+            assert log == [0, 1, 2, 3, 4]
+
+    def test_logs_never_diverge_after_commit(self):
+        """Applied prefixes across replicas are always consistent."""
+        cluster, applied = make_cluster(n=5, seed=6, drop_probability=0.1)
+        for i in range(8):
+            cluster.propose(i, settle_ticks=300)
+        cluster.tick(300)
+        logs = list(applied.values())
+        reference = max(logs, key=len)
+        for log in logs:
+            assert log == reference[:len(log)]
+
+
+class TestClientInterface:
+    def test_propose_on_follower_raises(self):
+        cluster, _ = make_cluster()
+        leader = cluster.run_until_leader()
+        follower = next(n for n in cluster.nodes if n != leader)
+        with pytest.raises(ConsensusError):
+            cluster.nodes[follower].propose("x")
+
+    def test_leader_hint_points_to_leader(self):
+        cluster, _ = make_cluster()
+        leader = cluster.run_until_leader()
+        cluster.tick(30)
+        for name, node in cluster.nodes.items():
+            if name != leader:
+                assert node.leader_hint == leader
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConsensusError):
+            RaftCluster([], random.Random(0))
+
+    def test_single_node_cluster_self_elects(self):
+        cluster, applied = make_cluster(n=1)
+        cluster.propose("solo")
+        assert applied["n0"] == ["solo"]
+
+    def test_message_accounting(self):
+        cluster, _ = make_cluster()
+        cluster.run_until_leader()
+        cluster.tick(50)
+        assert cluster.messages_sent > 0
+        cluster.isolate("n0")
+        cluster.tick(20)
+        assert cluster.messages_dropped > 0

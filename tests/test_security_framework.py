@@ -1,0 +1,316 @@
+"""Tests for security levels (Table II), channels, auth, and trust."""
+
+import pytest
+
+from repro.core.errors import SecurityError
+from repro.security import (
+    AuthModule,
+    Identity,
+    InteractionOutcome,
+    SecureChannel,
+    SecurityLevel,
+    SecuritySuite,
+    SUITE_DESCRIPTORS,
+    TrustEngine,
+    aggregate_reputation,
+    negotiate_level,
+)
+
+
+@pytest.fixture(scope="module")
+def identities():
+    return Identity("alice", seed=1), Identity("bob", seed=1)
+
+
+class TestSecurityLevels:
+    def test_ordering(self):
+        assert SecurityLevel.HIGH.rank > SecurityLevel.MEDIUM.rank \
+            > SecurityLevel.LOW.rank
+
+    def test_satisfies(self):
+        assert SecurityLevel.HIGH.satisfies(SecurityLevel.LOW)
+        assert not SecurityLevel.LOW.satisfies(SecurityLevel.HIGH)
+        assert SecurityLevel.MEDIUM.satisfies(SecurityLevel.MEDIUM)
+
+    def test_parse(self):
+        assert SecurityLevel.parse("HIGH") is SecurityLevel.HIGH
+        with pytest.raises(SecurityError):
+            SecurityLevel.parse("ultra")
+
+    def test_table2_descriptor_contents(self):
+        """The descriptors must reproduce the Table II cells."""
+        high = SUITE_DESCRIPTORS[SecurityLevel.HIGH]
+        assert high.encryption == "AES-256"
+        assert "Dilithium" in high.authentication
+        assert "Kyber" in high.key_exchange
+        assert high.hashing == "SHA-512"
+        assert high.pqc_resistant
+        medium = SUITE_DESCRIPTORS[SecurityLevel.MEDIUM]
+        assert medium.encryption == "AES-128"
+        assert "RSA" in medium.authentication
+        assert not medium.pqc_resistant
+        low = SUITE_DESCRIPTORS[SecurityLevel.LOW]
+        assert low.encryption == "ASCON-128"
+        assert "ECDSA" in low.authentication
+        assert low.hashing == "ASCON-Hash"
+
+    def test_negotiate_picks_weakest_satisfying(self):
+        assert negotiate_level(SecurityLevel.LOW, ["high"]) \
+            is SecurityLevel.LOW
+        assert negotiate_level(SecurityLevel.MEDIUM, ["high"]) \
+            is SecurityLevel.MEDIUM
+
+    def test_negotiate_fails_when_capability_too_weak(self):
+        with pytest.raises(SecurityError):
+            negotiate_level(SecurityLevel.HIGH, ["medium"])
+
+
+class TestSecuritySuite:
+    @pytest.mark.parametrize("level", list(SecurityLevel))
+    def test_encrypt_decrypt_roundtrip(self, level, identities):
+        alice, _ = identities
+        suite = SecuritySuite(level, alice)
+        key = bytes(range(suite.session_key_size()))
+        sealed = suite.encrypt(key, b"\x01" * 16, b"payload", b"ad")
+        assert suite.decrypt(key, b"\x01" * 16, sealed, b"ad") == b"payload"
+
+    @pytest.mark.parametrize("level", list(SecurityLevel))
+    def test_sign_verify_roundtrip(self, level, identities):
+        alice, bob = identities
+        suite_a = SecuritySuite(level, alice)
+        suite_b = SecuritySuite(level, bob)
+        sig = suite_a.sign(b"manifest")
+        assert suite_b.verify(alice, b"manifest", sig)
+        assert not suite_b.verify(alice, b"tampered", sig)
+
+    @pytest.mark.parametrize("level", list(SecurityLevel))
+    def test_kem_roundtrip(self, level, identities):
+        alice, bob = identities
+        suite_a = SecuritySuite(level, alice)
+        suite_b = SecuritySuite(level, bob)
+        secret, ct = suite_a.encapsulate(bob)
+        assert suite_b.decapsulate(alice, ct) == secret
+
+    @pytest.mark.parametrize("level", list(SecurityLevel))
+    def test_hash_deterministic_and_sized(self, level, identities):
+        suite = SecuritySuite(level, identities[0])
+        d = suite.hash(b"data")
+        assert d == suite.hash(b"data")
+        expected = {SecurityLevel.HIGH: 64, SecurityLevel.MEDIUM: 32,
+                    SecurityLevel.LOW: 32}[level]
+        assert len(d) == expected
+
+    def test_counters_track_operations(self, identities):
+        suite = SecuritySuite(SecurityLevel.MEDIUM, identities[0])
+        key = bytes(16)
+        suite.encrypt(key, b"\x00" * 12, b"12345")
+        suite.hash(b"x")
+        assert suite.counters.encryptions == 1
+        assert suite.counters.hashes == 1
+        assert suite.counters.bytes_protected == 5
+
+
+class TestSecureChannel:
+    @pytest.mark.parametrize("level", list(SecurityLevel))
+    def test_bidirectional_messaging(self, level, identities):
+        alice, bob = identities
+        ca, cb = SecureChannel.establish(alice, bob, level)
+        assert cb.open(ca.seal(b"ping")) == b"ping"
+        assert ca.open(cb.seal(b"pong")) == b"pong"
+
+    def test_replay_rejected(self, identities):
+        alice, bob = identities
+        ca, cb = SecureChannel.establish(alice, bob, SecurityLevel.LOW)
+        wire = ca.seal(b"once")
+        cb.open(wire)
+        with pytest.raises(SecurityError):
+            cb.open(wire)
+
+    def test_out_of_order_old_counter_rejected(self, identities):
+        alice, bob = identities
+        ca, cb = SecureChannel.establish(alice, bob, SecurityLevel.LOW)
+        w0 = ca.seal(b"first")
+        w1 = ca.seal(b"second")
+        cb.open(w1)
+        with pytest.raises(SecurityError):
+            cb.open(w0)
+
+    def test_tampered_record_rejected(self, identities):
+        alice, bob = identities
+        ca, cb = SecureChannel.establish(alice, bob, SecurityLevel.MEDIUM)
+        wire = bytearray(ca.seal(b"data"))
+        wire[-1] ^= 1
+        with pytest.raises(SecurityError):
+            cb.open(bytes(wire))
+
+    def test_handshake_sizes_grow_with_level(self, identities):
+        alice, bob = identities
+        sizes = {}
+        for level in SecurityLevel:
+            ca, _ = SecureChannel.establish(alice, bob, level)
+            sizes[level] = ca.transcript.total_bytes
+        # PQC handshakes are much heavier than classical ones.
+        assert sizes[SecurityLevel.HIGH] > sizes[SecurityLevel.MEDIUM]
+        assert sizes[SecurityLevel.HIGH] > sizes[SecurityLevel.LOW]
+
+    def test_message_counters(self, identities):
+        alice, bob = identities
+        ca, cb = SecureChannel.establish(alice, bob, SecurityLevel.LOW)
+        cb.open(ca.seal(b"a"))
+        cb.open(ca.seal(b"b"))
+        assert ca.messages_sent == 2
+        assert cb.messages_received == 2
+
+
+class TestAuthModule:
+    def make(self, now=0.0):
+        clock = {"t": now}
+        auth = AuthModule(b"super-secret-key!", now_fn=lambda: clock["t"])
+        return auth, clock
+
+    def test_issue_and_authenticate(self):
+        auth, _ = self.make()
+        auth.register_user("fp", ["operator"])
+        token = auth.issue_token("fp")
+        user = auth.authenticate(token)
+        assert user.name == "fp"
+        assert auth.auth_successes == 1
+
+    def test_expired_token_rejected(self):
+        auth, clock = self.make()
+        auth.register_user("fp", ["operator"])
+        token = auth.issue_token("fp", ttl_s=10)
+        clock["t"] = 11
+        with pytest.raises(SecurityError):
+            auth.authenticate(token)
+        assert auth.auth_failures == 1
+
+    def test_forged_token_rejected(self):
+        auth, _ = self.make()
+        auth.register_user("fp", ["operator"])
+        token = bytearray(auth.issue_token("fp"))
+        token[-1] ^= 1
+        with pytest.raises(SecurityError):
+            auth.authenticate(bytes(token))
+
+    def test_revoked_user_rejected(self):
+        auth, _ = self.make()
+        auth.register_user("fp", ["operator"])
+        token = auth.issue_token("fp")
+        auth.revoke("fp")
+        with pytest.raises(SecurityError):
+            auth.authenticate(token)
+
+    def test_authorization_by_role(self):
+        auth, _ = self.make()
+        dev = auth.register_user("dev", ["developer"])
+        auth.authorize(dev, "deploy")
+        with pytest.raises(SecurityError):
+            auth.authorize(dev, "reconfigure")
+
+    def test_admin_has_all_permissions(self):
+        auth, _ = self.make()
+        admin = auth.register_user("root", ["admin"])
+        for perm in ("deploy", "undeploy", "observe", "reconfigure",
+                     "manage-users", "manage-slices"):
+            auth.authorize(admin, perm)
+
+    def test_unknown_role_rejected(self):
+        auth, _ = self.make()
+        with pytest.raises(SecurityError):
+            auth.register_user("x", ["superuser"])
+
+    def test_unknown_permission_rejected(self):
+        auth, _ = self.make()
+        user = auth.register_user("x", ["admin"])
+        with pytest.raises(SecurityError):
+            auth.authorize(user, "fly")
+
+    def test_weak_secret_rejected(self):
+        with pytest.raises(SecurityError):
+            AuthModule(b"short")
+
+    def test_malformed_token_rejected(self):
+        auth, _ = self.make()
+        with pytest.raises(SecurityError):
+            auth.authenticate(b"not-a-token")
+
+
+class TestTrustEngine:
+    def make(self, now=0.0):
+        clock = {"t": now}
+        engine = TrustEngine("observer", now_fn=lambda: clock["t"])
+        return engine, clock
+
+    def test_unknown_component_neutral(self):
+        engine, _ = self.make()
+        assert engine.trust("ghost") == 0.5
+
+    def test_successes_raise_trust(self):
+        engine, _ = self.make()
+        for _ in range(10):
+            engine.observe("node", InteractionOutcome(0, True, 1.0))
+        assert engine.trust("node") > 0.8
+
+    def test_failures_lower_trust(self):
+        engine, _ = self.make()
+        for _ in range(10):
+            engine.observe("node", InteractionOutcome(0, False, 0.0))
+        assert engine.trust("node") < 0.2
+
+    def test_kpi_adherence_matters(self):
+        good, _ = self.make()
+        sloppy, _ = self.make()
+        for _ in range(5):
+            good.observe("n", InteractionOutcome(0, True, 1.0))
+            sloppy.observe("n", InteractionOutcome(0, True, 0.1))
+        assert good.trust("n") > sloppy.trust("n")
+
+    def test_decay_towards_neutral(self):
+        engine, clock = self.make()
+        for _ in range(10):
+            engine.observe("node", InteractionOutcome(0, True, 1.0))
+        high = engine.trust("node")
+        clock["t"] = 3600.0  # one half-life later
+        decayed = engine.trust("node")
+        assert 0.5 < decayed < high
+        assert decayed == pytest.approx(0.5 + (high - 0.5) * 0.5)
+
+    def test_trustworthy_threshold(self):
+        engine, _ = self.make()
+        assert not engine.trustworthy("fresh", threshold=0.6)
+        for _ in range(10):
+            engine.observe("fresh", InteractionOutcome(0, True, 1.0))
+        assert engine.trustworthy("fresh", threshold=0.6)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TrustEngine("o", alpha=0)
+        with pytest.raises(ValueError):
+            TrustEngine("o", half_life_s=-1)
+
+    def test_known_components(self):
+        engine, _ = self.make()
+        engine.observe("b", InteractionOutcome(0, True))
+        engine.observe("a", InteractionOutcome(0, True))
+        assert engine.known_components() == ["a", "b"]
+
+
+class TestReputationAggregation:
+    def test_weighted_by_reporter_trust(self):
+        # A distrusted reporter badmouths; trusted reporters praise.
+        reports = {
+            "honest-1": (0.9, 1.0),
+            "honest-2": (0.9, 0.9),
+            "liar": (0.05, 0.0),
+        }
+        assert aggregate_reputation(reports) > 0.85
+
+    def test_no_reports_neutral(self):
+        assert aggregate_reputation({}) == 0.5
+
+    def test_zero_weight_reports_neutral(self):
+        assert aggregate_reputation({"x": (0.0, 1.0)}) == 0.5
+
+    def test_scores_clamped(self):
+        assert aggregate_reputation({"x": (1.0, 5.0)}) == 1.0

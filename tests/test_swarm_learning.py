@@ -1,0 +1,217 @@
+"""Tests for swarm optimizers and learning strategies (FL, Q-learning)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mirto.learning import (
+    FederatedClient,
+    FederatedTrainer,
+    LinearModel,
+    QLearningAgent,
+    make_operating_point_dataset,
+)
+from repro.mirto.swarm import AntColonyOptimizer, ParticleSwarmOptimizer
+
+
+class TestPso:
+    def test_minimizes_sphere(self):
+        pso = ParticleSwarmOptimizer(4, random.Random(0), particles=20)
+        best, value = pso.minimize(lambda x: sum(v * v for v in x),
+                                   iterations=60)
+        assert value < 0.01
+        assert all(abs(v) < 0.2 for v in best)
+
+    def test_minimizes_shifted_function(self):
+        pso = ParticleSwarmOptimizer(2, random.Random(1), particles=20,
+                                     bounds=(-2, 2))
+        best, value = pso.minimize(
+            lambda x: (x[0] - 0.7) ** 2 + (x[1] + 0.3) ** 2,
+            iterations=80)
+        assert best[0] == pytest.approx(0.7, abs=0.05)
+        assert best[1] == pytest.approx(-0.3, abs=0.05)
+
+    def test_respects_bounds(self):
+        pso = ParticleSwarmOptimizer(3, random.Random(2), bounds=(0, 1))
+        best, _ = pso.minimize(lambda x: -sum(x), iterations=30)
+        assert all(0 <= v <= 1 for v in best)
+
+    def test_trace_improves(self):
+        pso = ParticleSwarmOptimizer(3, random.Random(3))
+        pso.minimize(lambda x: sum(v * v for v in x), iterations=30)
+        assert pso.trace.improved or \
+            pso.trace.best_per_iteration[0] < 0.01
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSwarmOptimizer(0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            ParticleSwarmOptimizer(2, random.Random(0), bounds=(1, 0))
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            pso = ParticleSwarmOptimizer(2, random.Random(9))
+            results.append(pso.minimize(
+                lambda x: sum(v * v for v in x), iterations=20)[1])
+        assert results[0] == results[1]
+
+
+class TestAco:
+    def test_finds_known_optimum(self):
+        # objective: choose option equal to decision index mod 3.
+        def objective(choices):
+            return sum(1.0 for i, c in enumerate(choices) if c != i % 3)
+
+        aco = AntColonyOptimizer(6, 3, random.Random(0), ants=15)
+        best, value = aco.minimize(objective, iterations=40)
+        assert value == 0.0
+        assert best == [i % 3 for i in range(6)]
+
+    def test_pheromones_concentrate(self):
+        def objective(choices):
+            return float(sum(choices))  # all-zeros is optimal
+
+        aco = AntColonyOptimizer(4, 2, random.Random(1), ants=10)
+        aco.minimize(objective, iterations=30)
+        for decision in range(4):
+            assert aco.pheromone[decision][0] > aco.pheromone[decision][1]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            AntColonyOptimizer(0, 2, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            AntColonyOptimizer(2, 2, random.Random(0), evaporation=1.5)
+
+    def test_trace_recorded(self):
+        aco = AntColonyOptimizer(3, 2, random.Random(2))
+        aco.minimize(lambda c: float(sum(c)), iterations=10)
+        assert len(aco.trace.best_per_iteration) == 10
+
+
+class TestLinearModel:
+    def test_learns_linear_relation(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (200, 2))
+        y = 3.0 * x[:, 0] - 2.0 * x[:, 1] + 0.5
+        model = LinearModel(2, l2=0.0)
+        for _ in range(800):
+            model.gradient_step(x, y, lr=0.1)
+        assert model.weights[0] == pytest.approx(3.0, abs=0.05)
+        assert model.weights[1] == pytest.approx(-2.0, abs=0.05)
+        assert model.weights[2] == pytest.approx(0.5, abs=0.05)
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (50, 3))
+        y = x @ np.array([1.0, 2.0, 3.0])
+        model = LinearModel(3)
+        before = model.loss(x, y)
+        for _ in range(50):
+            model.gradient_step(x, y)
+        assert model.loss(x, y) < before
+
+    def test_weight_shape_check(self):
+        model = LinearModel(2)
+        with pytest.raises(ConfigurationError):
+            model.set_weights(np.zeros(5))
+
+
+def make_federation(n_clients=4, algorithm="fedavg", seed=0,
+                    heterogeneous=False):
+    """Clients with disjoint regions of the operating-point space."""
+    rng = np.random.default_rng(seed)
+    clients = []
+    for i in range(n_clients):
+        lo = 10.0 + i * 400.0 if heterogeneous else 10.0
+        hi = lo + 400.0 if heterogeneous else 2000.0
+        features, targets = make_operating_point_dataset(
+            rng, 80, megaops_range=(lo, hi))
+        clients.append(FederatedClient(
+            name=f"edge-agent-{i}", model=LinearModel(3),
+            features=features, targets=targets))
+    return FederatedTrainer(clients, algorithm=algorithm)
+
+
+class TestFederatedLearning:
+    def test_loss_decreases_over_rounds(self):
+        trainer = make_federation()
+        losses = trainer.train(rounds=10, local_epochs=8, lr=0.1)
+        assert losses[-1] < losses[0]
+
+    def test_fedprox_also_converges(self):
+        trainer = make_federation(algorithm="fedprox")
+        losses = trainer.train(rounds=10, local_epochs=8, lr=0.1)
+        assert losses[-1] < losses[0]
+
+    def test_federation_generalizes_across_regions(self):
+        """An isolated client fails on foreign workload regions where the
+        federated global model succeeds — the paper's FL claim."""
+        trainer = make_federation(heterogeneous=True, seed=2)
+        trainer.train(rounds=25, local_epochs=10, lr=0.1)
+        global_model = trainer.global_model(3)
+        rng = np.random.default_rng(99)
+        # Test on the full range, beyond any single client's region.
+        x_test, y_test = make_operating_point_dataset(
+            rng, 200, megaops_range=(10.0, 1610.0))
+        isolated = LinearModel(3)
+        lone_x, lone_y = make_operating_point_dataset(
+            np.random.default_rng(3), 80, megaops_range=(10.0, 410.0))
+        for _ in range(250):
+            isolated.gradient_step(lone_x, lone_y, lr=0.1)
+        assert global_model.loss(x_test, y_test) \
+            < isolated.loss(x_test, y_test)
+
+    def test_history_recorded(self):
+        trainer = make_federation()
+        trainer.train(rounds=3)
+        assert len(trainer.history) == 3
+        assert trainer.history[0].round_index == 0
+
+    def test_all_clients_share_global_weights_after_round(self):
+        trainer = make_federation()
+        trainer.round()
+        reference = trainer.clients[0].model.get_weights()
+        for client in trainer.clients[1:]:
+            np.testing.assert_array_equal(
+                client.model.get_weights(), reference)
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FederatedTrainer([])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_federation(algorithm="fedsgd")
+
+
+class TestQLearning:
+    def test_learns_simple_mdp(self):
+        """State s: correct action is s % 2; reward 1 for correct."""
+        agent = QLearningAgent(4, 2, random.Random(0), epsilon=0.3)
+        rng = random.Random(1)
+        state = 0
+        for _ in range(3000):
+            action = agent.act(state)
+            reward = 1.0 if action == state % 2 else -1.0
+            next_state = rng.randrange(4)
+            agent.learn(state, action, reward, next_state)
+            state = next_state
+        assert agent.policy() == [0, 1, 0, 1]
+
+    def test_epsilon_decays(self):
+        agent = QLearningAgent(2, 2, random.Random(0), epsilon=0.5)
+        for _ in range(100):
+            agent.learn(0, 0, 1.0, 1)
+        assert agent.epsilon < 0.5
+
+    def test_exploit_mode_deterministic(self):
+        agent = QLearningAgent(2, 3, random.Random(0))
+        agent.q[0] = [0.1, 0.9, 0.3]
+        assert agent.act(0, explore=False) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            QLearningAgent(0, 2, random.Random(0))

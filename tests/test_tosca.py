@@ -1,0 +1,275 @@
+"""Tests for the TOSCA model, parser, validator and CSAR packaging."""
+
+import pytest
+
+from repro.core.errors import ValidationError
+from repro.tosca import (
+    CsarArchive,
+    NodeTemplate,
+    Policy,
+    Requirement,
+    ServiceTemplate,
+    ToscaValidator,
+    dump_service_template,
+    effective_properties,
+    parse_service_template,
+    resolve_type,
+)
+
+VALID_DOC = """
+tosca_definitions_version: myrtus_tosca_1_0
+metadata: {template_name: demo}
+topology_template:
+  inputs: {rate: 10}
+  node_templates:
+    feed:
+      type: myrtus.nodes.Container
+      properties:
+        image: "feed:1"
+        cpu_millicores: 200
+        memory_bytes: 104857600
+    detector:
+      type: myrtus.nodes.AcceleratedKernel
+      properties:
+        image: "det:1"
+        cpu_millicores: 1000
+        memory_bytes: 536870912
+        bitstream: "cnn.bit"
+      requirements:
+        - connection:
+            node: feed
+            relationship: tosca.relationships.ConnectsTo
+  policies:
+    - secure-all:
+        type: myrtus.policies.Security
+        targets: ["*"]
+        properties: {min_level: medium}
+    - fast:
+        type: myrtus.policies.Latency
+        targets: [detector]
+        properties: {end_to_end_budget_s: 0.1}
+"""
+
+
+def valid_service():
+    return parse_service_template(VALID_DOC)
+
+
+class TestTypeSystem:
+    def test_resolve_known_type(self):
+        assert resolve_type("myrtus.nodes.Container").name \
+            == "myrtus.nodes.Container"
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValidationError):
+            resolve_type("nope.Type")
+
+    def test_effective_properties_inherit(self):
+        props = effective_properties("myrtus.nodes.EdgeDevice")
+        assert "device_kind" in props  # own
+        assert "num_cpus" in props  # inherited from Compute
+
+    def test_property_type_checks(self):
+        props = effective_properties("myrtus.nodes.Container")
+        assert props["cpu_millicores"].check(100)
+        assert not props["cpu_millicores"].check("many")
+        assert not props["cpu_millicores"].check(True)  # bool is not int
+        assert props["image"].check("x:1")
+
+
+class TestParser:
+    def test_parse_valid_document(self):
+        svc = valid_service()
+        assert svc.name == "demo"
+        assert set(svc.node_templates) == {"feed", "detector"}
+        assert svc.inputs == {"rate": 10}
+        assert len(svc.policies) == 2
+
+    def test_requirement_parsed(self):
+        svc = valid_service()
+        req = svc.node_templates["detector"].requirement("connection")
+        assert req.target == "feed"
+        assert req.relationship == "tosca.relationships.ConnectsTo"
+
+    def test_short_form_requirement(self):
+        doc = VALID_DOC.replace(
+            """        - connection:
+            node: feed
+            relationship: tosca.relationships.ConnectsTo""",
+            "        - host: feed")
+        svc = parse_service_template(doc)
+        assert svc.node_templates["detector"].requirement("host").target \
+            == "feed"
+
+    def test_bad_yaml_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_service_template(": : :")
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValidationError, match="tosca_definitions"):
+            parse_service_template("topology_template: {}")
+
+    def test_missing_topology_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_service_template(
+                "tosca_definitions_version: myrtus_tosca_1_0")
+
+    def test_empty_node_templates_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_service_template(
+                "tosca_definitions_version: myrtus_tosca_1_0\n"
+                "topology_template:\n  node_templates: {}\n")
+
+    def test_yaml_roundtrip(self):
+        svc = valid_service()
+        again = parse_service_template(dump_service_template(svc))
+        assert set(again.node_templates) == set(svc.node_templates)
+        assert [p.name for p in again.policies] \
+            == [p.name for p in svc.policies]
+        assert again.node_templates["detector"].properties["bitstream"] \
+            == "cnn.bit"
+
+
+class TestValidator:
+    def test_valid_template_passes(self):
+        assert ToscaValidator().check(valid_service()) == []
+
+    def test_unknown_type_reported(self):
+        svc = valid_service()
+        svc.add_node(NodeTemplate("bad", type="nope.Type"))
+        problems = ToscaValidator().check(svc)
+        assert any("unknown type" in p for p in problems)
+
+    def test_missing_required_property(self):
+        svc = valid_service()
+        svc.add_node(NodeTemplate("c2", type="myrtus.nodes.Container",
+                                  properties={"image": "x"}))
+        problems = ToscaValidator().check(svc)
+        assert any("missing required property cpu_millicores" in p
+                   for p in problems)
+
+    def test_wrong_property_type(self):
+        svc = valid_service()
+        svc.node_templates["feed"].properties["cpu_millicores"] = "lots"
+        problems = ToscaValidator().check(svc)
+        assert any("not a integer" in p for p in problems)
+
+    def test_unknown_property(self):
+        svc = valid_service()
+        svc.node_templates["feed"].properties["color"] = "red"
+        problems = ToscaValidator().check(svc)
+        assert any("unknown property color" in p for p in problems)
+
+    def test_dangling_requirement(self):
+        svc = valid_service()
+        svc.node_templates["feed"].requirements.append(
+            Requirement("host", "ghost"))
+        problems = ToscaValidator().check(svc)
+        assert any("unknown template ghost" in p for p in problems)
+
+    def test_self_requirement(self):
+        svc = valid_service()
+        svc.node_templates["feed"].requirements.append(
+            Requirement("host", "feed"))
+        problems = ToscaValidator().check(svc)
+        assert any("targets itself" in p for p in problems)
+
+    def test_hosting_cycle_detected(self):
+        svc = valid_service()
+        svc.node_templates["feed"].requirements.append(
+            Requirement("host", "detector",
+                        "tosca.relationships.HostedOn"))
+        svc.node_templates["detector"].requirements.append(
+            Requirement("host", "feed", "tosca.relationships.HostedOn"))
+        problems = ToscaValidator().check(svc)
+        assert any("hosting cycle" in p for p in problems)
+
+    def test_unknown_policy_type(self):
+        svc = valid_service()
+        svc.add_policy(Policy("p", "nope.Policy", ["feed"]))
+        problems = ToscaValidator().check(svc)
+        assert any("unknown type nope.Policy" in p for p in problems)
+
+    def test_policy_unknown_target(self):
+        svc = valid_service()
+        svc.add_policy(Policy("p", "myrtus.policies.Latency", ["ghost"],
+                              {"end_to_end_budget_s": 1.0}))
+        problems = ToscaValidator().check(svc)
+        assert any("unknown target ghost" in p for p in problems)
+
+    def test_bad_security_level_value(self):
+        svc = valid_service()
+        svc.add_policy(Policy("p", "myrtus.policies.Security", ["feed"],
+                              {"min_level": "ultra"}))
+        problems = ToscaValidator().check(svc)
+        assert any("min_level" in p for p in problems)
+
+    def test_nonpositive_latency_budget(self):
+        svc = valid_service()
+        svc.add_policy(Policy("p", "myrtus.policies.Latency", ["feed"],
+                              {"end_to_end_budget_s": -1.0}))
+        problems = ToscaValidator().check(svc)
+        assert any("must be positive" in p for p in problems)
+
+    def test_validate_raises_with_all_problems(self):
+        svc = valid_service()
+        svc.add_node(NodeTemplate("bad", type="nope.Type"))
+        svc.add_policy(Policy("p", "nope.Policy", ["feed"]))
+        with pytest.raises(ValidationError) as excinfo:
+            ToscaValidator().validate(svc)
+        assert len(excinfo.value.problems) >= 2
+
+
+class TestServiceTemplateApi:
+    def test_duplicate_template_rejected(self):
+        svc = ServiceTemplate("s")
+        svc.add_node(NodeTemplate("a", "myrtus.nodes.Container"))
+        with pytest.raises(ValidationError):
+            svc.add_node(NodeTemplate("a", "myrtus.nodes.Container"))
+
+    def test_containers_include_derived_types(self):
+        svc = valid_service()
+        names = {c.name for c in svc.containers()}
+        assert names == {"feed", "detector"}  # AcceleratedKernel derives
+
+    def test_policies_for_wildcard(self):
+        svc = valid_service()
+        assert [p.name for p in svc.policies_for("feed")] == ["secure-all"]
+        assert {p.name for p in svc.policies_for("detector")} \
+            == {"secure-all", "fast"}
+
+    def test_policies_of_type(self):
+        svc = valid_service()
+        assert len(svc.policies_of_type("myrtus.policies.Latency")) == 1
+
+
+class TestCsar:
+    def test_roundtrip(self):
+        archive = CsarArchive(valid_service())
+        archive.add_artifact("bitstreams/cnn.bit", b"\x00" * 64)
+        archive.add_artifact("meta/operating-points.json", b"{}")
+        data = archive.to_bytes()
+        back = CsarArchive.from_bytes(data)
+        assert back.service.name == "demo"
+        assert back.artifact_inventory() == {
+            "bitstreams/cnn.bit": 64,
+            "meta/operating-points.json": 2,
+        }
+
+    def test_bad_zip_rejected(self):
+        with pytest.raises(ValidationError):
+            CsarArchive.from_bytes(b"not a zip")
+
+    def test_missing_meta_rejected(self):
+        import io
+        import zipfile
+        buffer = io.BytesIO()
+        with zipfile.ZipFile(buffer, "w") as z:
+            z.writestr("random.txt", "hi")
+        with pytest.raises(ValidationError):
+            CsarArchive.from_bytes(buffer.getvalue())
+
+    def test_bad_artifact_path_rejected(self):
+        archive = CsarArchive(valid_service())
+        with pytest.raises(ValidationError):
+            archive.add_artifact("/absolute", b"")
