@@ -1,0 +1,36 @@
+"""Static analysis for the reproduction (`repro.analysis`).
+
+Three engines share one finding/baseline core and one CLI
+(``python -m repro.analysis`` / ``repro-analysis``):
+
+- **continuum-lint** (:mod:`repro.analysis.lint`) — an AST rule engine
+  enforcing the determinism invariants: no global ``random`` use
+  outside ``core/rng.py``, no wall-clock reads in simulation code, no
+  seed derivation from RNG floats or ``hash()``, plus general hygiene
+  (mutable defaults, overbroad excepts).
+- **MLIR dataflow analyses** (:mod:`repro.analysis.mlir`) — def-use
+  chains, use-before-def, dead values, CFG liveness and a type/arity
+  checker for ``repro.dpe.mlir`` modules, run after every rewrite
+  pass.
+- **static TOSCA/CSAR checking** (:mod:`repro.analysis.tosca_check`)
+  — validates templates and archives without deploying them.
+"""
+
+from repro.analysis.findings import (
+    Baseline,
+    BaselineDiff,
+    Finding,
+    Severity,
+    assign_occurrences,
+)
+from repro.analysis.config import AnalysisConfig, load_config
+
+__all__ = [
+    "AnalysisConfig",
+    "Baseline",
+    "BaselineDiff",
+    "Finding",
+    "Severity",
+    "assign_occurrences",
+    "load_config",
+]

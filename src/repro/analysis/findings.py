@@ -1,0 +1,152 @@
+"""Shared finding/severity/baseline core for all three analysis engines.
+
+Every engine (continuum-lint, the MLIR dataflow analyses, the static
+TOSCA checker) reports :class:`Finding` objects with a stable
+fingerprint, so one baseline file and one reporter serve all of them.
+Fingerprints hash the *content* of the finding (rule, file, offending
+source context) rather than the line number, so unrelated edits that
+shift lines do not invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from pathlib import Path
+
+
+class Severity(str, Enum):
+    """Ordered severity ladder; ``--check`` gates on ERROR and WARNING."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from one engine.
+
+    ``context`` carries the content the fingerprint is derived from
+    (the stripped source line for lint findings, the structural message
+    for IR/TOSCA findings); ``occurrence`` disambiguates identical
+    findings in the same file.
+    """
+
+    tool: str  # "lint" | "mlir" | "tosca"
+    rule: str  # e.g. "global-random"
+    path: str  # repo-relative path or logical location
+    line: int
+    message: str
+    severity: Severity = Severity.ERROR
+    context: str = ""
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        payload = (f"{self.tool}:{self.rule}:{self.path}:"
+                   f"{self.context or self.message}:{self.occurrence}")
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        return {
+            "tool": self.tool,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Number findings that would otherwise share a fingerprint.
+
+    Two identical violations on different lines of one file get
+    occurrence 0 and 1 (in line order), keeping fingerprints unique and
+    stable under unrelated edits.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    seen: dict[str, int] = {}
+    result = []
+    for finding in ordered:
+        key = f"{finding.tool}:{finding.rule}:{finding.path}:{finding.context}"
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        result.append(replace(finding, occurrence=index))
+    return result
+
+
+@dataclass
+class BaselineDiff:
+    """Partition of a run's findings against the committed baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    fixed: list[dict] = field(default_factory=list)  # stale baseline entries
+
+    @property
+    def blocking(self) -> list[Finding]:
+        """New findings that should fail ``--check``."""
+        return [f for f in self.new if f.severity != Severity.INFO]
+
+
+class Baseline:
+    """A committed set of accepted pre-existing findings.
+
+    New findings (not in the baseline) block CI; baselined ones are
+    reported but pass. Entries whose finding no longer occurs are
+    surfaced as "fixed" so the baseline can be shrunk.
+    """
+
+    VERSION = 1
+
+    def __init__(self, entries: list[dict] | None = None):
+        self.entries = list(entries or [])
+        self._by_fingerprint = {e["fingerprint"]: e for e in self.entries}
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        if data.get("version") != cls.VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported version "
+                f"{data.get('version')!r}")
+        return cls(data.get("entries", []))
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding]) -> None:
+        entries = [f.as_dict() for f in
+                   sorted(findings, key=lambda f: (f.path, f.line, f.rule))]
+        payload = {"version": Baseline.VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    def diff(self, findings: list[Finding]) -> BaselineDiff:
+        result = BaselineDiff()
+        seen: set[str] = set()
+        for finding in findings:
+            seen.add(finding.fingerprint)
+            if finding.fingerprint in self._by_fingerprint:
+                result.baselined.append(finding)
+            else:
+                result.new.append(finding)
+        result.fixed = [e for e in self.entries
+                        if e["fingerprint"] not in seen]
+        return result

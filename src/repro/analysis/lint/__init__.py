@@ -1,0 +1,13 @@
+"""continuum-lint: AST rule engine enforcing determinism invariants."""
+
+from repro.analysis.lint.engine import (
+    LintContext,
+    LintEngine,
+    Rule,
+    all_rules,
+    register_rule,
+)
+from repro.analysis.lint import rules  # noqa: F401  (registers the rules)
+
+__all__ = ["LintContext", "LintEngine", "Rule", "all_rules",
+           "register_rule", "rules"]

@@ -1,0 +1,243 @@
+"""continuum-lint: the AST rule engine.
+
+One walk per file: the engine parses the module, builds an import map
+(so rules can resolve ``rnd.random()`` back to ``random.random`` no
+matter how the module was imported), dispatches every AST node to the
+rules that registered interest in its type, then filters the collected
+findings through suppression pragmas.
+
+Pragma syntax (documented in DESIGN.md):
+
+- ``# continuum-lint: disable=rule-a,rule-b`` on the offending line
+  suppresses those rules for that line (``disable`` alone = all rules).
+- ``# continuum-lint: disable-file=rule-a`` anywhere in the file
+  suppresses the rule file-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding, Severity, assign_occurrences
+
+_PRAGMA = re.compile(
+    r"#\s*continuum-lint:\s*(disable(?:-file)?)\s*(?:=\s*([\w,\-\s]+))?")
+
+
+@dataclass
+class LintContext:
+    """Per-file state shared with every rule during the walk."""
+
+    rel_path: str
+    tree: ast.Module
+    lines: list[str]
+    config: AnalysisConfig
+    # alias -> dotted module name ("np" -> "numpy")
+    import_aliases: dict[str, str] = field(default_factory=dict)
+    # local name -> dotted origin ("randint" -> "random.randint")
+    from_imports: dict[str, str] = field(default_factory=dict)
+    findings: list[Finding] = field(default_factory=list)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(Finding(
+            tool="lint",
+            rule=rule.rule_id,
+            path=self.rel_path,
+            line=lineno,
+            message=message,
+            severity=rule.severity,
+            context=self.source_line(lineno),
+        ))
+
+    def resolve_call_target(self, node: ast.AST) -> str | None:
+        """Dotted origin of a call target, through import aliases.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves
+        to ``numpy.random.default_rng``; a bare ``randint`` imported via
+        ``from random import randint`` resolves to ``random.randint``.
+        Returns None for names the imports cannot explain.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        head = current.id
+        parts.reverse()
+        if head in self.import_aliases:
+            return ".".join([self.import_aliases[head]] + parts)
+        if head in self.from_imports:
+            return ".".join([self.from_imports[head]] + parts)
+        if not parts and head in ("hash",):  # builtin of interest
+            return head
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``severity``/``node_types`` and
+    implement :meth:`on_node`; the engine calls it for every AST node
+    whose type is listed in ``node_types``.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    node_types: tuple[type, ...] = ()
+
+    def on_node(self, node: ast.AST, ctx: LintContext) -> None:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} lacks a rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    return dict(_REGISTRY)
+
+
+def _collect_imports(tree: ast.Module, ctx: LintContext) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                ctx.import_aliases[alias.asname or
+                                   alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module \
+                and node.level == 0:
+            for alias in node.names:
+                ctx.from_imports[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    # `import numpy.random as npr` style: alias maps to full dotted name
+    # already; `import numpy` maps "numpy" -> "numpy". Nothing else to do.
+
+
+def _parse_pragmas(lines: list[str]) -> tuple[
+        dict[int, set[str] | None], dict[str, bool], bool]:
+    """Return (line pragmas, file-wide disabled rules, disable-all-file).
+
+    A ``None`` rule set means "all rules" for that line.
+    """
+    line_pragmas: dict[int, set[str] | None] = {}
+    file_disabled: dict[str, bool] = {}
+    file_all = False
+    for lineno, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if not match:
+            continue
+        kind, rules_text = match.groups()
+        rules = None
+        if rules_text:
+            rules = {r.strip() for r in rules_text.split(",") if r.strip()}
+        if kind == "disable":
+            line_pragmas[lineno] = rules
+        else:  # disable-file
+            if rules is None:
+                file_all = True
+            else:
+                for rule in rules:
+                    file_disabled[rule] = True
+    return line_pragmas, file_disabled, file_all
+
+
+def _suppressed(finding: Finding,
+                line_pragmas: dict[int, set[str] | None],
+                file_disabled: dict[str, bool], file_all: bool) -> bool:
+    if file_all or file_disabled.get(finding.rule):
+        return True
+    if finding.line in line_pragmas:
+        rules = line_pragmas[finding.line]
+        return rules is None or finding.rule in rules
+    return False
+
+
+class LintEngine:
+    """Runs the registered rules over a set of Python files."""
+
+    def __init__(self, config: AnalysisConfig,
+                 only_rules: set[str] | None = None):
+        self.config = config
+        self.rules: list[Rule] = []
+        for rule_id, cls in sorted(all_rules().items()):
+            if only_rules is not None and rule_id not in only_rules:
+                continue
+            if config.rule_enabled(rule_id):
+                self.rules.append(cls())
+
+    def run(self, paths: list[str | Path] | None = None) -> list[Finding]:
+        """Lint *paths* (files or directories); returns all findings."""
+        root = self.config.root
+        targets = [Path(p) for p in (paths or self.config.paths)]
+        files: list[Path] = []
+        for target in targets:
+            target = target if target.is_absolute() else root / target
+            if target.is_dir():
+                files.extend(sorted(target.rglob("*.py")))
+            elif target.suffix == ".py":
+                files.append(target)
+        findings: list[Finding] = []
+        for file_path in files:
+            try:
+                rel = str(file_path.relative_to(root))
+            except ValueError:
+                rel = str(file_path)
+            if self.config.is_excluded(rel):
+                continue
+            findings.extend(self.lint_file(file_path, rel))
+        return assign_occurrences(findings)
+
+    def lint_file(self, file_path: Path, rel_path: str) -> list[Finding]:
+        try:
+            source = file_path.read_text()
+        except OSError:
+            return []
+        return self.lint_source(source, rel_path)
+
+    def lint_source(self, source: str, rel_path: str) -> list[Finding]:
+        """Lint a source string (the unit the rule tests exercise)."""
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(
+                tool="lint", rule="syntax-error", path=rel_path,
+                line=exc.lineno or 1, message=f"cannot parse: {exc.msg}",
+                severity=Severity.ERROR,
+                context=lines[(exc.lineno or 1) - 1].strip()
+                if 0 < (exc.lineno or 1) <= len(lines) else "")]
+        ctx = LintContext(rel_path=rel_path, tree=tree, lines=lines,
+                          config=self.config)
+        _collect_imports(tree, ctx)
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in self.rules:
+            for node_type in rule.node_types:
+                dispatch.setdefault(node_type, []).append(rule)
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                rule.on_node(node, ctx)
+        line_pragmas, file_disabled, file_all = _parse_pragmas(lines)
+        return [f for f in ctx.findings
+                if not _suppressed(f, line_pragmas, file_disabled,
+                                   file_all)]

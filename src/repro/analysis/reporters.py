@@ -1,0 +1,51 @@
+"""Human and JSON reporters shared by all analysis engines."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import BaselineDiff, Finding
+
+
+def render_text(diff: BaselineDiff, verbose: bool = False) -> str:
+    """The human report: new findings in full, the rest summarized."""
+    lines: list[str] = []
+    for finding in sorted(diff.new,
+                          key=lambda f: (f.path, f.line, f.rule)):
+        lines.append(f"{finding.location}: {finding.severity.value} "
+                     f"[{finding.rule}] {finding.message}")
+    if verbose:
+        for finding in sorted(diff.baselined,
+                              key=lambda f: (f.path, f.line, f.rule)):
+            lines.append(f"{finding.location}: baselined "
+                         f"[{finding.rule}] {finding.message}")
+    summary = (f"{len(diff.new)} new, {len(diff.baselined)} baselined, "
+               f"{len(diff.fixed)} fixed-in-baseline")
+    if diff.fixed:
+        summary += " (rerun with --write-baseline to shrink it)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(diff: BaselineDiff) -> str:
+    """Machine-readable report (one object; findings grouped by status)."""
+    payload = {
+        "new": [f.as_dict() for f in diff.new],
+        "baselined": [f.as_dict() for f in diff.baselined],
+        "fixed": diff.fixed,
+        "summary": {
+            "new": len(diff.new),
+            "baselined": len(diff.baselined),
+            "fixed": len(diff.fixed),
+            "blocking": len(diff.blocking),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Plain listing used outside the baseline workflow (tosca mode)."""
+    lines = [f"{f.location}: {f.severity.value} [{f.rule}] {f.message}"
+             for f in findings]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

@@ -178,6 +178,22 @@ def simplify_algebraic(function: Function) -> int:
     return rewrites
 
 
+def statically_check(function: Function) -> None:
+    """Run the dataflow analyses; raise when the function is broken.
+
+    Every pass calls this on its output, so a rewrite that produces a
+    use-before-def or a type inconsistency fails immediately at the
+    stage that introduced it instead of surfacing as a wrong number in
+    the interpreter (or not at all).
+    """
+    from repro.analysis.mlir import check_function
+
+    problems = check_function(function)
+    if problems:
+        raise CompilationError(
+            f"pass output failed static checks: " + "; ".join(problems))
+
+
 def canonicalize(function: Function) -> dict[str, int]:
     """Fold + simplify + CSE + DCE to a fixed point; returns counts."""
     totals = {"folded": 0, "simplified": 0, "cse": 0, "dce": 0}
@@ -192,6 +208,7 @@ def canonicalize(function: Function) -> dict[str, int]:
         totals["dce"] += dce
         if folded == simplified == cse == dce == 0:
             break
+    statically_check(function)
     return totals
 
 
@@ -268,6 +285,7 @@ def quantize_to_base2(module: Module, func_name: str,
                             ret.type))
     target.returns = returns
     module.add(target)
+    statically_check(target)
     return target
 
 

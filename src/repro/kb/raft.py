@@ -20,6 +20,7 @@ from enum import Enum
 from typing import Any, Callable
 
 from repro.core.errors import ConsensusError
+from repro.core.rng import derive_seed
 
 
 class Role(str, Enum):
@@ -465,8 +466,9 @@ class RaftCluster:
         apply_fns = apply_fns or {}
         snapshot_fns = snapshot_fns or {}
         restore_fns = restore_fns or {}
+        cluster_seed = rng.getrandbits(63)
         for name in node_names:
-            node_rng = random.Random(rng.random())
+            node_rng = random.Random(derive_seed(cluster_seed, name))
             self.nodes[name] = RaftNode(
                 name, node_names, node_rng,
                 apply_fns.get(name, lambda cmd: None),

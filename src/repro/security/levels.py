@@ -30,6 +30,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.errors import SecurityError
+from repro.core.rng import derive_seed
 from repro.security.primitives import aes, ascon, ecdsa, lattice, rsa
 from repro.security.primitives.sha2 import sha256, sha512
 
@@ -113,11 +114,12 @@ class Identity:
         self._sig_key: lattice.SigPrivateKey | None = None
 
     def _py_rng(self, tag: str) -> random.Random:
-        return random.Random(hash((self._seed, self.name, tag)) & 0xFFFFFFFF)
+        return random.Random(derive_seed(self._seed,
+                                         f"{self.name}:{tag}"))
 
     def _np_rng(self, tag: str) -> np.random.Generator:
         return np.random.default_rng(
-            hash((self._seed, self.name, tag)) & 0xFFFFFFFF)
+            derive_seed(self._seed, f"{self.name}:{tag}"))
 
     @property
     def rsa_key(self) -> rsa.RsaPrivateKey:

@@ -84,7 +84,7 @@ def generate_keypair(bits: int = 1024,
                      rng: random.Random | None = None) -> RsaPrivateKey:
     """Generate an RSA keypair. 1024-bit default keeps simulation fast;
     the key size is a parameter, not a protocol constant."""
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     e = 65537
     while True:
         p = generate_prime(bits // 2, rng)

@@ -1,0 +1,216 @@
+"""Tests for the static TOSCA/CSAR checker."""
+
+from repro.analysis.findings import Severity
+from repro.analysis.tosca_check import (
+    check_csar,
+    check_csar_bytes,
+    check_service,
+)
+from repro.tosca.csar import CsarArchive
+from repro.tosca.model import (
+    NodeTemplate,
+    Policy,
+    Requirement,
+    ServiceTemplate,
+)
+
+
+def container(name, **overrides):
+    properties = {"image": f"registry/{name}:1", "cpu_millicores": 250,
+                  "memory_bytes": 64 << 20}
+    properties.update(overrides)
+    return NodeTemplate(name=name, type="myrtus.nodes.Container",
+                        properties=properties)
+
+
+def valid_service():
+    service = ServiceTemplate(name="svc")
+    host = NodeTemplate(name="edge1", type="myrtus.nodes.EdgeDevice",
+                        properties={"device_kind": "gateway"})
+    app = container("app")
+    app.requirements.append(Requirement(
+        "host", "edge1", "tosca.relationships.HostedOn"))
+    service.add_node(host)
+    service.add_node(app)
+    return service
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestServiceChecks:
+    def test_valid_service_is_clean(self):
+        assert check_service(valid_service()) == []
+
+    def test_dangling_requirement_target(self):
+        service = valid_service()
+        service.node_templates["app"].requirements.append(
+            Requirement("connection", "missing-db",
+                        "tosca.relationships.ConnectsTo"))
+        findings = check_service(service)
+        assert any(f.rule == "schema"
+                   and "unknown template missing-db" in f.message
+                   for f in findings)
+
+    def test_connects_to_cycle_detected(self):
+        service = ServiceTemplate(name="cyclic")
+        a, b = container("a"), container("b")
+        a.requirements.append(Requirement(
+            "connection", "b", "tosca.relationships.ConnectsTo"))
+        b.requirements.append(Requirement(
+            "connection", "a", "tosca.relationships.ConnectsTo"))
+        service.add_node(a)
+        service.add_node(b)
+        findings = check_service(service)
+        # the runtime validator only rejects HostedOn cycles; the
+        # static checker must catch this one
+        assert any(f.rule == "dependency-cycle" for f in findings)
+
+    def test_acyclic_connections_ok(self):
+        service = ServiceTemplate(name="chain")
+        a, b = container("a"), container("b")
+        a.requirements.append(Requirement(
+            "connection", "b", "tosca.relationships.ConnectsTo"))
+        service.add_node(a)
+        service.add_node(b)
+        assert check_service(service) == []
+
+
+class TestOperatingPoints:
+    def test_well_formed_points_ok(self):
+        service = ServiceTemplate(name="svc")
+        service.add_node(container("app", operating_points=[
+            {"name": "op-0", "latency_s": 0.1, "energy_j": 2.0},
+            {"name": "op-1", "latency_s": 0.4, "energy_j": 0.5},
+        ]))
+        assert check_service(service) == []
+
+    def test_missing_required_keys(self):
+        service = ServiceTemplate(name="svc")
+        service.add_node(container("app", operating_points=[
+            {"name": "op-0", "latency_s": 0.1},  # no energy_j
+        ]))
+        findings = check_service(service)
+        assert any(f.rule == "operating-points"
+                   and "energy_j" in f.message for f in findings)
+
+    def test_negative_latency(self):
+        service = ServiceTemplate(name="svc")
+        service.add_node(container("app", operating_points=[
+            {"name": "op-0", "latency_s": -1.0, "energy_j": 1.0},
+        ]))
+        findings = check_service(service)
+        assert any("non-negative" in f.message for f in findings)
+
+    def test_duplicate_point_names(self):
+        service = ServiceTemplate(name="svc")
+        service.add_node(container("app", operating_points=[
+            {"name": "op-0", "latency_s": 0.1, "energy_j": 1.0},
+            {"name": "op-0", "latency_s": 0.2, "energy_j": 2.0},
+        ]))
+        findings = check_service(service)
+        assert any("duplicate point name" in f.message for f in findings)
+
+    def test_non_mapping_point(self):
+        service = ServiceTemplate(name="svc")
+        service.add_node(container("app",
+                                   operating_points=["fast", "slow"]))
+        findings = check_service(service)
+        assert any("not a mapping" in f.message for f in findings)
+
+
+class TestSecurityLevels:
+    def test_unknown_node_level(self):
+        service = valid_service()
+        service.node_templates["edge1"].properties[
+            "max_security_level"] = "ultra"
+        findings = check_service(service)
+        assert any(f.rule == "security-level" for f in findings)
+
+    def test_unknown_policy_level(self):
+        service = valid_service()
+        service.add_policy(Policy(
+            name="sec", type="myrtus.policies.Security",
+            targets=["app"], properties={"min_level": "paranoid"}))
+        findings = check_service(service)
+        assert any(f.rule == "security-level" for f in findings)
+
+    def test_unknown_metadata_level(self):
+        service = valid_service()
+        service.metadata["security_level"] = "max"
+        findings = check_service(service)
+        assert any(f.rule == "security-level" for f in findings)
+
+    def test_valid_levels_ok(self):
+        service = valid_service()
+        service.node_templates["edge1"].properties[
+            "max_security_level"] = "high"
+        service.add_policy(Policy(
+            name="sec", type="myrtus.policies.Security",
+            targets=["app"], properties={"min_level": "medium"}))
+        service.metadata["security_level"] = "low"
+        assert check_service(service) == []
+
+
+class TestCsarChecks:
+    def test_missing_bitstream_artifact(self):
+        service = ServiceTemplate(name="svc")
+        kernel = NodeTemplate(
+            name="kern", type="myrtus.nodes.AcceleratedKernel",
+            properties={"image": "registry/kern:1",
+                        "cpu_millicores": 500,
+                        "memory_bytes": 128 << 20,
+                        "bitstream": "kern.bit"})
+        service.add_node(kernel)
+        archive = CsarArchive(service=service)
+        findings = check_csar(archive)
+        assert any(f.rule == "artifact-ref"
+                   and "not packaged" in f.message for f in findings)
+
+    def test_packaged_bitstream_ok(self):
+        service = ServiceTemplate(name="svc")
+        kernel = NodeTemplate(
+            name="kern", type="myrtus.nodes.AcceleratedKernel",
+            properties={"image": "registry/kern:1",
+                        "cpu_millicores": 500,
+                        "memory_bytes": 128 << 20,
+                        "bitstream": "kern.bit"})
+        service.add_node(kernel)
+        archive = CsarArchive(service=service)
+        archive.add_artifact("kern.bit", b"\x00" * 16)
+        assert [f for f in check_csar(archive)
+                if f.severity == Severity.ERROR] == []
+
+    def test_orphan_artifact_warns(self):
+        archive = CsarArchive(service=valid_service())
+        archive.add_artifact("leftover.bin", b"junk")
+        findings = check_csar(archive)
+        orphans = [f for f in findings if "referenced by no" in f.message]
+        assert orphans and all(f.severity == Severity.WARNING
+                               for f in orphans)
+
+    def test_malformed_operating_points_artifact(self):
+        archive = CsarArchive(service=valid_service())
+        archive.add_artifact("app/operating_points.json", b"not-json")
+        findings = check_csar(archive)
+        assert any("not valid JSON" in f.message for f in findings)
+
+    def test_well_formed_operating_points_artifact(self):
+        import json
+        archive = CsarArchive(service=valid_service())
+        archive.add_artifact("app/operating_points.json", json.dumps([
+            {"name": "op-0", "latency_s": 0.1, "energy_j": 1.0},
+        ]).encode())
+        assert [f for f in check_csar(archive)
+                if f.severity == Severity.ERROR] == []
+
+    def test_bad_zip_reported_not_raised(self):
+        findings = check_csar_bytes(b"definitely not a zip")
+        assert rules_of(findings) == ["archive"]
+
+    def test_roundtripped_archive_checks_clean(self):
+        archive = CsarArchive(service=valid_service())
+        rebuilt = CsarArchive.from_bytes(archive.to_bytes())
+        assert [f for f in check_csar(rebuilt)
+                if f.severity == Severity.ERROR] == []

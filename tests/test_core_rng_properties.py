@@ -1,0 +1,89 @@
+"""Property-based coverage for `repro.core.rng`.
+
+The whole determinism story rests on `derive_seed` being stable across
+runs and collision-resistant across stream names, and on RngRegistry
+replaying identical streams for identical root seeds — so those
+properties get tested directly.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.rng import RngRegistry, derive_seed
+
+seeds = st.integers(min_value=0, max_value=2**63 - 1)
+names = st.text(min_size=1, max_size=40)
+
+
+class TestDeriveSeed:
+    @given(seeds, names)
+    def test_stable_across_calls(self, root, name):
+        assert derive_seed(root, name) == derive_seed(root, name)
+
+    @given(seeds, names)
+    def test_in_63_bit_range(self, root, name):
+        value = derive_seed(root, name)
+        assert 0 <= value < 2**63
+
+    @given(seeds, st.lists(names, min_size=2, max_size=20,
+                           unique=True))
+    def test_collision_resistant_across_names(self, root, name_list):
+        derived = [derive_seed(root, n) for n in name_list]
+        assert len(set(derived)) == len(derived)
+
+    @given(names, st.lists(seeds, min_size=2, max_size=10, unique=True))
+    def test_distinct_roots_give_distinct_seeds(self, name, roots):
+        derived = [derive_seed(r, name) for r in roots]
+        assert len(set(derived)) == len(derived)
+
+    def test_known_values_pinned(self):
+        # regression pin: a change in the derivation breaks every
+        # recorded experiment, so the exact values are asserted
+        assert derive_seed(0, "a") == derive_seed(0, "a")
+        assert derive_seed(0, "a") != derive_seed(0, "b")
+        assert derive_seed(1, "a") != derive_seed(0, "a")
+        # stable across processes (unlike hash()):
+        assert derive_seed(42, "election") == \
+            int.from_bytes(
+                __import__("hashlib").sha256(b"42:election").digest()[:8],
+                "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+class TestRegistryReplay:
+    @given(seeds, names)
+    def test_python_streams_replay(self, root, name):
+        first = RngRegistry(root).python(name)
+        second = RngRegistry(root).python(name)
+        assert [first.random() for _ in range(5)] == \
+            [second.random() for _ in range(5)]
+
+    @given(seeds, names)
+    def test_numpy_streams_replay(self, root, name):
+        first = RngRegistry(root).numpy(name)
+        second = RngRegistry(root).numpy(name)
+        assert first.random(5).tolist() == second.random(5).tolist()
+
+    @given(seeds, st.lists(names, min_size=2, max_size=5, unique=True))
+    def test_streams_are_independent(self, root, name_list):
+        # drawing from one stream must not perturb another
+        registry_a = RngRegistry(root)
+        registry_b = RngRegistry(root)
+        for name in name_list:
+            registry_a.python(name).random()  # advance every stream
+        target = name_list[-1]
+        registry_b.python(target).random()
+        assert registry_a.python(target).random() == \
+            registry_b.python(target).random()
+
+    @given(seeds, names)
+    def test_same_name_returns_same_stream_object(self, root, name):
+        registry = RngRegistry(root)
+        assert registry.python(name) is registry.python(name)
+        assert registry.numpy(name) is registry.numpy(name)
+
+    @given(seeds, names)
+    def test_fork_replays_identically(self, root, name):
+        child_a = RngRegistry(root).fork(name)
+        child_b = RngRegistry(root).fork(name)
+        assert child_a.root_seed == child_b.root_seed
+        assert child_a.python("s").random() == \
+            child_b.python("s").random()
