@@ -11,7 +11,7 @@ while a static deployment keeps suffering.
 Run:  python examples/continuous_orchestration.py
 """
 
-from repro.continuum import Simulator, build_reference_infrastructure
+from repro.continuum import build_reference_infrastructure
 from repro.continuum.workload import Application, KernelClass, Task
 from repro.mirto import (
     ContinuousDeployment,
@@ -19,6 +19,7 @@ from repro.mirto import (
     run_with_interference,
 )
 from repro.mirto.placement import PlacementConstraints
+from repro.runtime import RuntimeContext
 
 
 def streaming_app() -> Application:
@@ -32,7 +33,7 @@ def streaming_app() -> Application:
 
 
 def run_mode(adaptive: bool):
-    infrastructure = build_reference_infrastructure(Simulator())
+    infrastructure = build_reference_infrastructure(RuntimeContext(seed=0))
     deployment = ContinuousDeployment(
         streaming_app(), infrastructure,
         constraints=PlacementConstraints(source_device="mc-00-0"),

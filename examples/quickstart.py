@@ -51,6 +51,13 @@ def main() -> None:
           f"{len(record.triggers)} triggers, "
           f"{record.executed} reconfigurations applied")
 
+    # 5. Everything above happened on one shared RuntimeContext: the
+    #    placement decision and each MAPE phase are already on the
+    #    causally ordered trace (export with engine.ctx.trace.to_jsonl()).
+    mape_events = engine.ctx.trace.records("mirto.**")
+    print(f"trace: {len(engine.ctx.trace)} records, e.g. "
+          + ", ".join(r.topic for r in mape_events[:3]))
+
 
 if __name__ == "__main__":
     main()

@@ -33,6 +33,10 @@ class AnalysisConfig:
     # Files allowed to touch the global `random` / `np.random` modules.
     rng_allowlist: list[str] = field(
         default_factory=lambda: ["core/rng.py"])
+    # Paths allowed to construct Simulator()/EventBus() directly; all
+    # other code must be injected with a RuntimeContext.
+    runtime_allowlist: list[str] = field(
+        default_factory=lambda: ["runtime/", "tests/"])
     baseline: str = "analysis-baseline.json"
 
     def is_excluded(self, rel_path: str) -> bool:
@@ -48,6 +52,12 @@ class AnalysisConfig:
     def is_rng_allowed(self, rel_path: str) -> bool:
         rel = rel_path.replace("\\", "/")
         return any(rel.endswith(suffix) for suffix in self.rng_allowlist)
+
+    def is_runtime_allowed(self, rel_path: str) -> bool:
+        """May this file construct Simulator/EventBus directly?"""
+        rel = rel_path.replace("\\", "/")
+        return any(f"/{entry.strip('/')}/" in f"/{rel}"
+                   for entry in self.runtime_allowlist)
 
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
@@ -77,7 +87,8 @@ def load_config(root: str | Path | None = None) -> AnalysisConfig:
     for key, attr in (("paths", "paths"), ("exclude", "exclude"),
                       ("disable", "disable"),
                       ("simulation-packages", "simulation_packages"),
-                      ("rng-allowlist", "rng_allowlist")):
+                      ("rng-allowlist", "rng_allowlist"),
+                      ("runtime-allowlist", "runtime_allowlist")):
         value = table.get(key)
         if isinstance(value, list):
             setattr(config, attr, [str(v) for v in value])

@@ -40,6 +40,15 @@ _SEEDING_CALLS = frozenset({
     "random.Random", "numpy.random.default_rng", "numpy.random.RandomState",
 })
 
+# Canonical and re-exported names of the runtime primitives that only
+# repro.runtime (and tests) may construct directly.
+_RUNTIME_PRIMITIVES = frozenset({
+    "repro.continuum.simulator.Simulator",
+    "repro.continuum.Simulator",
+    "repro.core.events.EventBus",
+    "repro.core.EventBus",
+})
+
 
 @register_rule
 class GlobalRandomRule(Rule):
@@ -162,6 +171,35 @@ class OverbroadExceptRule(Rule):
             isinstance(stmt, ast.Expr)
             and isinstance(stmt.value, ast.Constant)
             and stmt.value.value is Ellipsis)
+
+
+@register_rule
+class RuntimeConstructionRule(Rule):
+    """The runtime layer owns clock and bus; nobody else constructs them.
+
+    A subsystem that builds its own ``Simulator()`` or ``EventBus()``
+    forks the timeline: its events can no longer be causally ordered
+    against the rest of the system, and its trace diverges from the
+    canonical one. Everything outside ``repro/runtime/`` (and tests)
+    must be injected with a ``RuntimeContext`` instead.
+    """
+
+    rule_id = "runtime-construction"
+    description = ("direct Simulator()/EventBus() construction outside "
+                   "repro.runtime (inject a RuntimeContext)")
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def on_node(self, node: ast.Call, ctx: LintContext) -> None:
+        if ctx.config.is_runtime_allowed(ctx.rel_path):
+            return
+        target = ctx.resolve_call_target(node.func)
+        if target in _RUNTIME_PRIMITIVES:
+            kind = target.rsplit(".", 1)[-1]
+            ctx.report(self, node,
+                       f"direct {kind}() construction forks the shared "
+                       "timeline; accept a repro.runtime.RuntimeContext "
+                       "and use ctx.sim / ctx.bus")
 
 
 @register_rule

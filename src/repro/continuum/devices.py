@@ -23,6 +23,7 @@ from enum import Enum
 
 from repro.core.errors import CapacityError, ConfigurationError, NotFoundError
 from repro.continuum.simulator import Resource, Simulator
+from repro.runtime import as_simulator
 from repro.continuum.workload import KernelClass, Task
 
 
@@ -429,8 +430,13 @@ class Device:
         return f"Device({self.name!r}, {self.spec.kind.value})"
 
 
-def make_device(sim: Simulator, name: str, kind: DeviceKind,
+def make_device(sim, name: str, kind: DeviceKind,
                 operating_points: tuple[OperatingPoint, ...] | None = None,
                 ) -> Device:
-    """Instantiate a device of *kind* from the calibrated catalogue."""
-    return Device(sim, name, SPEC_CATALOGUE[kind], operating_points)
+    """Instantiate a device of *kind* from the calibrated catalogue.
+
+    *sim* may be the canonical :class:`Simulator` or a
+    :class:`~repro.runtime.RuntimeContext` (its clock is used).
+    """
+    return Device(as_simulator(sim), name, SPEC_CATALOGUE[kind],
+                  operating_points)

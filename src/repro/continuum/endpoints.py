@@ -17,6 +17,7 @@ from typing import Any, Callable
 from repro.core.errors import ConfigurationError
 from repro.continuum.gateway import GatewayHub
 from repro.continuum.simulator import Simulator, Store
+from repro.runtime import as_simulator
 
 
 @dataclass
@@ -43,6 +44,7 @@ class SensorProcess:
                  period_s: float, max_samples: int | None = None):
         if period_s <= 0:
             raise ConfigurationError("sensor period must be positive")
+        sim = as_simulator(sim)
         self.sim = sim
         self.hub = hub
         self.name = name
@@ -98,6 +100,7 @@ class ActuatorProcess:
                  actuation_delay_s: float = 0.005):
         if actuation_delay_s < 0:
             raise ConfigurationError("actuation delay must be >= 0")
+        sim = as_simulator(sim)
         self.sim = sim
         self.name = name
         self.actuation_delay_s = actuation_delay_s

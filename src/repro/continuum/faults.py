@@ -67,16 +67,21 @@ class FaultInjector:
 
     ``mtbf_s`` is the mean time between failures while up; ``mttr_s``
     the mean time to repair while down. Starting the injector arms one
-    DES process per device.
+    DES process per device. Every failure and repair is published on
+    the shared runtime bus (``continuum.fault.fail`` / ``.repair``) so
+    the kube control plane, the MAPE loop and the monitors all see it
+    on the same timeline.
     """
 
     def __init__(self, infrastructure: Infrastructure,
-                 rng: random.Random, mtbf_s: float, mttr_s: float,
+                 rng: random.Random | None = None,
+                 mtbf_s: float = 3600.0, mttr_s: float = 60.0,
                  devices: list[str] | None = None):
         if mtbf_s <= 0 or mttr_s <= 0:
             raise ConfigurationError("MTBF and MTTR must be positive")
         self.infrastructure = infrastructure
-        self.rng = rng
+        self.ctx = infrastructure.ctx
+        self.rng = rng or self.ctx.rng.python("continuum.faults")
         self.mtbf_s = mtbf_s
         self.mttr_s = mttr_s
         self.device_names = devices or list(infrastructure.devices)
@@ -103,18 +108,35 @@ class FaultInjector:
             yield sim.timeout(self.rng.expovariate(1.0 / self.mttr_s))
             self._repair(device)
 
+    def inject_now(self, device_name: str) -> None:
+        """Fail *device_name* at the current simulated instant.
+
+        Deterministic counterpart of the stochastic process — used by
+        cross-layer scenarios that need a fault at an exact time.
+        """
+        self._fail(self.infrastructure.device(device_name))
+
+    def repair_now(self, device_name: str) -> None:
+        """Repair *device_name* at the current simulated instant."""
+        self._repair(self.infrastructure.device(device_name))
+
     def _fail(self, device: Device) -> None:
+        now = self.ctx.now
         device.failed = True
-        self.tracker.record(FaultEvent(device.name, "fail",
-                                       self.infrastructure.sim.now))
+        self.tracker.record(FaultEvent(device.name, "fail", now))
         # Interrupt in-flight work: waiting requests and running tasks
         # both lose their slot (the executing processes see Interrupt).
         interrupted = 0
         for request in list(device.cores.users):
             interrupted += 1
         self.tracker.tasks_interrupted += interrupted
+        self.ctx.publish("continuum.fault.fail", {
+            "device": device.name, "time_s": now,
+            "interrupted": interrupted})
 
     def _repair(self, device: Device) -> None:
+        now = self.ctx.now
         device.failed = False
-        self.tracker.record(FaultEvent(device.name, "repair",
-                                       self.infrastructure.sim.now))
+        self.tracker.record(FaultEvent(device.name, "repair", now))
+        self.ctx.publish("continuum.fault.repair", {
+            "device": device.name, "time_s": now})

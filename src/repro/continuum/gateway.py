@@ -25,6 +25,7 @@ from repro.core.errors import CapacityError, NotFoundError, ValidationError
 from repro.continuum.simulator import Simulator
 from repro.net.protocols import Message, PROTOCOLS, negotiate
 from repro.net.topology import Network
+from repro.runtime import RuntimeContext, ensure_context
 
 
 @dataclass
@@ -57,11 +58,12 @@ Processor = Callable[[dict[str, Any]], dict[str, Any] | None]
 class GatewayHub:
     """Protocol-bridging, store-and-forward message hub."""
 
-    def __init__(self, sim: Simulator, network: Network, name: str,
-                 buffer_limit: int = 256):
+    def __init__(self, ctx: RuntimeContext | Simulator, network: Network,
+                 name: str, buffer_limit: int = 256):
         if name not in network.graph:
             raise NotFoundError(f"gateway host {name!r} not in network")
-        self.sim = sim
+        self.ctx = ensure_context(ctx)
+        self.sim = self.ctx.sim
         self.network = network
         self.name = name
         self.buffer_limit = buffer_limit
@@ -145,6 +147,9 @@ class GatewayHub:
             buffer = self._buffers.setdefault(dst, deque())
             if len(buffer) >= self.buffer_limit:
                 self.dropped += 1
+                self.ctx.publish(
+                    f"continuum.gateway.{self.name}.dropped",
+                    {"dst": dst, "topic": topic})
                 return None
             buffer.append(out)
             self.deliveries.append(DeliveryRecord(
@@ -174,6 +179,8 @@ class GatewayHub:
             wire_bytes=wire, buffered=buffered,
             delivered_at_s=self.sim.now)
         self.deliveries.append(record)
+        self.ctx.publish(f"continuum.gateway.{self.name}.delivered",
+                         record)
         return record
 
     def flush(self, dst: str):

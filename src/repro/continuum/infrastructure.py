@@ -21,6 +21,7 @@ from repro.continuum.devices import (
 )
 from repro.continuum.simulator import Simulator
 from repro.net.topology import Network
+from repro.runtime import RuntimeContext, ensure_context
 
 
 @dataclass
@@ -48,11 +49,19 @@ class OffloadStats:
 
 
 class Infrastructure:
-    """A running continuum: devices, layers, and the connecting network."""
+    """A running continuum: devices, layers, and the connecting network.
 
-    def __init__(self, sim: Simulator, network: Network | None = None):
-        self.sim = sim
-        self.network = network or Network(sim)
+    Injected with a :class:`~repro.runtime.RuntimeContext` (a bare
+    :class:`Simulator` is still accepted and wrapped for legacy call
+    sites); the context's clock, bus and RNG tree are shared with every
+    other layer observing this infrastructure.
+    """
+
+    def __init__(self, ctx: RuntimeContext | Simulator | None = None,
+                 network: Network | None = None):
+        self.ctx = ensure_context(ctx)
+        self.sim = self.ctx.sim
+        self.network = network or Network(self.ctx)
         self.devices: dict[str, Device] = {}
         self.offloads = OffloadStats()
         self._ids = IdGenerator()
@@ -86,6 +95,9 @@ class Infrastructure:
                 bandwidth_bps=link_bw_bps if link_bw_bps is not None
                 else bandwidth,
             )
+        self.ctx.publish("continuum.infra.device-added", {
+            "device": name, "kind": kind.value,
+            "layer": device.spec.layer.value})
         return device
 
     def _default_link(self, device: Device, peer_name: str) -> tuple[float, float]:
@@ -181,7 +193,9 @@ class Infrastructure:
         return len(self.devices)
 
 
-def build_reference_infrastructure(sim: Simulator, edge_sites: int = 2,
+def build_reference_infrastructure(ctx: RuntimeContext | Simulator | None
+                                   = None,
+                                   edge_sites: int = 2,
                                    gateways_per_site: int = 1,
                                    fmdcs: int = 1,
                                    cloud_servers: int = 2) -> Infrastructure:
@@ -191,7 +205,7 @@ def build_reference_infrastructure(sim: Simulator, edge_sites: int = 2,
     RISC-V+CGRA device behind a smart gateway; gateways connect to the
     FMDC tier, which connects to the cloud.
     """
-    infra = Infrastructure(sim)
+    infra = Infrastructure(ctx)
     cloud_names = []
     for i in range(cloud_servers):
         server = infra.add_device(DeviceKind.CLOUD_SERVER,

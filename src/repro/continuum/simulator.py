@@ -172,12 +172,10 @@ class Process(Event):
             if trigger._ok:
                 target = self.generator.send(trigger._value)
             else:
+                # Interrupts and plain failures both arrive via throw();
+                # the process distinguishes them by exception type.
                 trigger._defused = True
-                exc = trigger._value
-                if isinstance(exc, Interrupt):
-                    target = self.generator.throw(exc)
-                else:
-                    target = self.generator.throw(exc)
+                target = self.generator.throw(trigger._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return

@@ -27,18 +27,24 @@ def topic_matches(pattern: str, topic: str) -> bool:
     """Return True when dotted *topic* matches *pattern*.
 
     A pattern segment of ``*`` matches exactly one topic segment; a
-    trailing ``**`` matches any remaining segments (including none).
+    ``**`` segment matches any number of segments (including none) and
+    may appear anywhere — ``a.**.z`` matches ``a.z``, ``a.b.z`` and
+    ``a.b.c.z`` but not ``a.b.c``.
     """
-    pat_parts = pattern.split(".")
-    top_parts = topic.split(".")
-    for i, pat in enumerate(pat_parts):
-        if pat == "**":
-            return True
-        if i >= len(top_parts):
-            return False
-        if pat != "*" and pat != top_parts[i]:
-            return False
-    return len(pat_parts) == len(top_parts)
+    return _segments_match(pattern.split("."), topic.split("."))
+
+
+def _segments_match(pats: list[str], tops: list[str]) -> bool:
+    if not pats:
+        return not tops
+    if pats[0] == "**":
+        return any(_segments_match(pats[1:], tops[i:])
+                   for i in range(len(tops) + 1))
+    if not tops:
+        return False
+    if pats[0] != "*" and pats[0] != tops[0]:
+        return False
+    return _segments_match(pats[1:], tops[1:])
 
 
 @dataclass

@@ -19,6 +19,9 @@ from typing import Any, Callable
 from repro.core.errors import ConsensusError, NotFoundError
 from repro.kb.raft import RaftCluster
 
+if False:  # pragma: no cover - import cycle guard, typing only
+    from repro.runtime import RuntimeContext
+
 
 @dataclass
 class KeyValue:
@@ -186,12 +189,19 @@ class KnowledgeBase:
 
     def __init__(self, replicas: int = 3, seed: int = 0,
                  message_delay: int = 1, drop_probability: float = 0.0,
-                 snapshot_threshold: int | None = None):
+                 snapshot_threshold: int | None = None,
+                 ctx: "RuntimeContext | None" = None):
         names = [f"kb-{i}" for i in range(replicas)]
         self._states = {name: KVState() for name in names}
+        # With a RuntimeContext, Raft's randomness (election timeouts,
+        # message drops) comes from the shared seed tree so the whole
+        # system replays from one seed; without one, fall back to a
+        # locally seeded generator.
+        rng = (ctx.rng.python(f"kb.raft.{seed}") if ctx is not None
+               else random.Random(seed))
         self.cluster = RaftCluster(
             names,
-            random.Random(seed),
+            rng,
             apply_fns={name: self._states[name].apply for name in names},
             message_delay=message_delay,
             drop_probability=drop_probability,

@@ -14,9 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.core.errors import NotFoundError, OrchestrationError, ValidationError
+from repro.core.errors import (
+    ConfigurationError,
+    NotFoundError,
+    OrchestrationError,
+    ValidationError,
+)
 from repro.core.events import EventBus
 from repro.core.ids import IdGenerator
+from repro.runtime import RuntimeContext
 from repro.kube.objects import (
     Deployment,
     Node,
@@ -35,16 +41,31 @@ class ClusterEvent:
     kind: str
     object_name: str
     message: str
+    time_s: float = 0.0
 
 
 class KubeCluster:
-    """One Kubernetes-style cluster."""
+    """One Kubernetes-style cluster.
+
+    The control plane no longer wires a private event bus: inject a
+    :class:`~repro.runtime.RuntimeContext` so pod/bind/evict events land
+    on the same timeline as device faults and MAPE decisions. A bare
+    ``bus`` is still accepted for isolated unit tests; with neither, a
+    private context is created (cluster events then live on their own
+    timeline).
+    """
 
     def __init__(self, name: str, scheduler: Scheduler | None = None,
-                 bus: EventBus | None = None):
+                 bus: EventBus | None = None,
+                 ctx: RuntimeContext | None = None):
         self.name = name
         self.scheduler = scheduler or Scheduler()
-        self.bus = bus or EventBus()
+        self.ctx = ctx
+        if bus is None:
+            if self.ctx is None:
+                self.ctx = RuntimeContext()
+            bus = self.ctx.bus
+        self.bus = bus
         self.nodes: dict[str, Node] = {}
         self.pods: dict[str, Pod] = {}
         self.deployments: dict[str, Deployment] = {}
@@ -228,7 +249,28 @@ class KubeCluster:
             out[node.name] = 1.0 - free.cpu_millicores / cap
         return out
 
+    def watch_device_faults(self) -> None:
+        """React to continuum fault events on the shared bus.
+
+        A failed device whose name matches one of this cluster's nodes
+        is marked unready (evicting its pods); a repair marks it ready
+        again. This is the cross-layer glue that puts kube evictions on
+        the same causal trace as the fault that caused them.
+        """
+        if self.ctx is None:
+            raise ConfigurationError(
+                "watch_device_faults() needs a RuntimeContext-injected "
+                "cluster (shared bus)")
+
+        def _on_fault(topic: str, payload) -> None:
+            device = (payload or {}).get("device")
+            if device in self.nodes:
+                self.set_node_ready(device, topic.endswith(".repair"))
+
+        self.ctx.subscribe("continuum.fault.*", _on_fault)
+
     def _emit(self, kind: str, obj: str, message: str) -> None:
-        event = ClusterEvent(kind=kind, object_name=obj, message=message)
+        event = ClusterEvent(kind=kind, object_name=obj, message=message,
+                             time_s=self.ctx.now if self.ctx else 0.0)
         self.events.append(event)
         self.bus.publish(f"kube.{self.name}.{kind}", event)

@@ -64,9 +64,10 @@ class ContinuousDeployment:
                  rng: random.Random | None = None):
         self.application = application
         self.infrastructure = infrastructure
+        self.ctx = infrastructure.ctx
         self.constraints = constraints or PlacementConstraints()
         self.policy = policy or MigrationPolicy()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or self.ctx.rng.python("mirto.continuous")
         self.history: list[PeriodRecord] = []
         initial = make_strategy(self.policy.replan_strategy, self.rng)
         self.placement = initial.place(application, infrastructure,
@@ -118,6 +119,12 @@ class ContinuousDeployment:
         self.placement = Placement(candidate.assignment,
                                    f"{candidate.strategy}+migrated")
         self.migrations += 1
+        self.ctx.publish("mirto.continuous.migrated", {
+            "application": self.application.name,
+            "period": len(self.history),
+            "assignment": dict(sorted(candidate.assignment.items())),
+            "predicted_gain": gain,
+        })
         return True
 
     def mean_makespan(self, last: int | None = None) -> float:

@@ -16,8 +16,8 @@ from repro.continuum.infrastructure import (
     Infrastructure,
     build_reference_infrastructure,
 )
-from repro.continuum.simulator import Simulator
 from repro.kb.registry import ComponentRecord, ResourceRegistry
+from repro.runtime import RuntimeContext
 from repro.kb.store import KnowledgeBase
 from repro.mirto.agent import ApiRequest, ApiResponse, MirtoAgent
 from repro.mirto.manager import MirtoManager
@@ -39,21 +39,32 @@ class EngineConfig:
 
 
 class CognitiveEngine:
-    """One fully wired MIRTO deployment over a simulated continuum."""
+    """One fully wired MIRTO deployment over a simulated continuum.
+
+    The engine no longer self-wires a private simulator: it runs on a
+    :class:`~repro.runtime.RuntimeContext` (the infrastructure's when
+    one is supplied, else a fresh context seeded from the config), so
+    MAPE transitions, placement decisions and KB consensus all share
+    one clock, one bus and one seed tree with the rest of the system.
+    """
 
     def __init__(self, config: EngineConfig | None = None,
-                 infrastructure: Infrastructure | None = None):
+                 infrastructure: Infrastructure | None = None,
+                 ctx: RuntimeContext | None = None):
         self.config = config or EngineConfig()
-        self.sim = (infrastructure.sim if infrastructure
-                    else Simulator())
-        self.infrastructure = infrastructure or \
-            build_reference_infrastructure(
-                self.sim,
+        if infrastructure is not None:
+            self.ctx = infrastructure.ctx
+            self.infrastructure = infrastructure
+        else:
+            self.ctx = ctx or RuntimeContext(seed=self.config.seed)
+            self.infrastructure = build_reference_infrastructure(
+                self.ctx,
                 edge_sites=self.config.edge_sites,
                 fmdcs=self.config.fmdcs,
                 cloud_servers=self.config.cloud_servers)
+        self.sim = self.ctx.sim
         self.kb = KnowledgeBase(replicas=self.config.kb_replicas,
-                                seed=self.config.seed)
+                                seed=self.config.seed, ctx=self.ctx)
         self.registry = ResourceRegistry(self.kb)
         self._register_components()
         self.manager = MirtoManager(

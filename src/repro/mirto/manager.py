@@ -141,7 +141,7 @@ class NetworkManager:
                  rng: random.Random | None = None):
         self.infrastructure = infrastructure
         self.slices = SliceManager(infrastructure.network)
-        self.rng = rng or random.Random(0)
+        self.rng = rng or infrastructure.ctx.rng.python("mirto.network")
         # RL: states = discretized max-link congestion (5 bins),
         # actions = {keep-local, offload-to-fog, offload-to-cloud}.
         self.agent = QLearningAgent(n_states=5, n_actions=3, rng=self.rng)
@@ -260,7 +260,7 @@ class WorkloadManager:
         self.node_manager = node_manager
         self.registry = registry
         self.default_strategy = default_strategy
-        self.rng = rng or random.Random(0)
+        self.rng = rng or infrastructure.ctx.rng.python("mirto.workload")
         self.deployments: list[DeploymentOutcome] = []
 
     def _apply_reallocation_advice(self,
@@ -343,6 +343,14 @@ class WorkloadManager:
             deadline_met=deadline_met,
         )
         self.deployments.append(outcome)
+        self.infrastructure.ctx.publish("mirto.deploy.placed", {
+            "service": service.name,
+            "strategy": placement.strategy,
+            "assignment": dict(sorted(placement.assignment.items())),
+            "makespan_s": report.makespan_s,
+            "energy_j": report.energy_j,
+            "deadline_met": deadline_met,
+        })
         if self.registry is not None:
             self.registry.update_status(f"deployment/{service.name}", {
                 "strategy": placement.strategy,
@@ -363,15 +371,20 @@ class MirtoManager:
     seed: int = 0
 
     def __post_init__(self):
-        rng = random.Random(self.seed)
+        # All manager randomness hangs off the shared runtime seed
+        # tree, namespaced by the manager seed so two managers with
+        # different seeds on one continuum stay independent.
+        rng_tree = self.infrastructure.ctx.rng
         self.security = PrivacySecurityManager(self.infrastructure)
-        self.network = NetworkManager(self.infrastructure,
-                                      random.Random(self.seed + 1))
+        self.network = NetworkManager(
+            self.infrastructure,
+            rng_tree.python(f"mirto.network.{self.seed}"))
         self.node_manager = NodeManager(self.infrastructure, self.registry)
         self.workload = WorkloadManager(
             self.infrastructure, self.security, self.network,
             self.node_manager, self.registry,
-            default_strategy=self.default_strategy, rng=rng)
+            default_strategy=self.default_strategy,
+            rng=rng_tree.python(f"mirto.workload.{self.seed}"))
 
     def deploy(self, service: ServiceTemplate,
                strategy: str | None = None) -> DeploymentOutcome:

@@ -17,6 +17,7 @@ from repro.continuum.infrastructure import Infrastructure
 from repro.kb.registry import ResourceRegistry
 from repro.mirto.manager import MirtoManager
 from repro.monitoring.monitors import InfrastructureMonitor
+from repro.runtime import RuntimeContext
 
 
 @dataclass
@@ -49,31 +50,55 @@ class LoopRecord:
 
 
 class MapeLoop:
-    """Monitor-Analyze-Plan-Execute over the shared knowledge base."""
+    """Monitor-Analyze-Plan-Execute over the shared knowledge base.
+
+    The loop is wired to the infrastructure's
+    :class:`~repro.runtime.RuntimeContext`: every phase transition is
+    published on the shared bus (``mirto.mape.<phase>``), the internal
+    monitor reads the canonical clock, and ``continuum.fault.*`` events
+    arriving between iterations become external triggers for the next
+    Analyze stage — the sensing of "internal and external triggers" the
+    paper asks for.
+    """
 
     def __init__(self, infrastructure: Infrastructure,
                  registry: ResourceRegistry,
                  manager: MirtoManager,
                  overload_threshold: float = 0.85,
                  underload_threshold: float = 0.15,
-                 trust_threshold: float = 0.3):
+                 trust_threshold: float = 0.3,
+                 ctx: RuntimeContext | None = None):
         self.infrastructure = infrastructure
         self.registry = registry
         self.manager = manager
-        self.monitor = InfrastructureMonitor("mape")
+        self.ctx = ctx or infrastructure.ctx
+        self.monitor = InfrastructureMonitor("mape", ctx=self.ctx)
         self.overload_threshold = overload_threshold
         self.underload_threshold = underload_threshold
         self.trust_threshold = trust_threshold
         self.records: list[LoopRecord] = []
+        #: (time_s, device, "fail"|"repair") for every fault seen on
+        #: the shared bus, stamped with the canonical clock.
+        self.fault_observations: list[tuple[float, str, str]] = []
+        self._pending_faults: list[Trigger] = []
+        self.ctx.subscribe("continuum.fault.*", self._on_fault)
+
+    def _on_fault(self, topic: str, payload) -> None:
+        device = (payload or {}).get("device", "?")
+        kind = topic.rsplit(".", 1)[-1]
+        self.fault_observations.append((self.ctx.now, device, kind))
+        if kind == "fail":
+            self._pending_faults.append(Trigger(
+                "fault", device,
+                f"device failed at t={self.ctx.now:.6f}"))
 
     # -- the four stages -----------------------------------------------------
 
     def sense(self) -> dict[str, dict]:
         """Stage 1: pull telemetry from every device into the KB."""
         samples = {}
-        now = self.infrastructure.sim.now
         for device in self.infrastructure.devices.values():
-            sample = self.monitor.sample_device(now, device)
+            sample = self.monitor.sample_device(device=device)
             self.registry.update_status(device.name, {
                 "utilization": sample["utilization"],
                 "queue_length": sample["queue_length"],
@@ -83,8 +108,13 @@ class MapeLoop:
         return samples
 
     def analyze(self, samples: dict[str, dict]) -> list[Trigger]:
-        """Stage 2: evaluate aggregated local and global information."""
-        triggers = []
+        """Stage 2: evaluate aggregated local and global information.
+
+        Consumes the external fault triggers delivered on the shared
+        bus since the previous cycle, then derives internal triggers
+        from the sensed telemetry.
+        """
+        triggers, self._pending_faults = self._pending_faults, []
         for name, sample in samples.items():
             utilization = sample["utilization"]
             if utilization > self.overload_threshold:
@@ -122,7 +152,7 @@ class MapeLoop:
                     actions.append(PlannedAction(
                         "set-operating-point", trigger.component,
                         "low-power"))
-            elif trigger.kind == "trust-drop":
+            elif trigger.kind in ("trust-drop", "fault"):
                 actions.append(PlannedAction(
                     "flag-reallocation", trigger.component, "avoid"))
         return actions
@@ -153,13 +183,24 @@ class MapeLoop:
         return executed
 
     def iterate(self) -> LoopRecord:
-        """One full MAPE cycle."""
+        """One full MAPE cycle; phase transitions land on the bus."""
+        iteration = len(self.records)
         samples = self.sense()
+        self.ctx.publish("mirto.mape.sense", {
+            "iteration": iteration, "components": len(samples)})
         triggers = self.analyze(samples)
+        self.ctx.publish("mirto.mape.analyze", {
+            "iteration": iteration,
+            "triggers": [f"{t.kind}:{t.component}" for t in triggers]})
         actions = self.plan(triggers)
+        self.ctx.publish("mirto.mape.plan", {
+            "iteration": iteration,
+            "actions": [f"{a.kind}:{a.component}" for a in actions]})
         executed = self.execute(actions)
+        self.ctx.publish("mirto.mape.execute", {
+            "iteration": iteration, "executed": executed})
         record = LoopRecord(
-            iteration=len(self.records),
+            iteration=iteration,
             sensed_components=len(samples),
             triggers=triggers,
             actions=actions,

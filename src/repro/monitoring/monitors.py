@@ -2,39 +2,73 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.errors import ConfigurationError
 from repro.core.events import EventBus
 from repro.continuum.devices import Device
 from repro.monitoring.metrics import Alert, MetricSeries
 from repro.net.topology import Network
+from repro.runtime import RuntimeContext
 
 
 class _MonitorBase:
-    """Shared plumbing: named series registry + bus publication."""
+    """Shared plumbing: named series registry + bus publication.
+
+    Monitors read the canonical clock of an injected
+    :class:`~repro.runtime.RuntimeContext`: every ``time_s`` parameter
+    is optional and defaults to ``ctx.now``. Passing an explicit
+    ``time_s`` (e.g. for replaying historical samples) still works; a
+    monitor with neither a context nor an explicit time raises.
+    """
 
     kind = "abstract"
 
     def __init__(self, name: str, bus: EventBus | None = None,
-                 retention: int = 1024):
+                 retention: int = 1024,
+                 ctx: RuntimeContext | None = None):
         self.name = name
-        self.bus = bus
+        self.ctx = ctx
+        self.bus = bus if bus is not None else (
+            ctx.bus if ctx is not None else None)
         self.retention = retention
         self.series: dict[str, MetricSeries] = {}
 
+    def _now(self, time_s: float | None) -> float:
+        if time_s is not None:
+            return time_s
+        if self.ctx is not None:
+            return self.ctx.now
+        raise ConfigurationError(
+            f"monitor {self.name!r} has no RuntimeContext; pass time_s "
+            "explicitly or inject ctx=")
+
     def metric(self, metric_name: str, alert_above: float | None = None,
                alert_below: float | None = None) -> MetricSeries:
-        """Get-or-create a metric series owned by this monitor."""
+        """Get-or-create a metric series owned by this monitor.
+
+        Thresholds passed here stick even when the series already
+        exists (recording via :meth:`_record` may have created it
+        first), so alerts can be armed at any point.
+        """
         if metric_name not in self.series:
             self.series[metric_name] = MetricSeries(
                 f"{self.name}.{metric_name}", retention=self.retention,
                 alert_above=alert_above, alert_below=alert_below)
+        else:
+            series = self.series[metric_name]
+            if alert_above is not None:
+                series.alert_above = alert_above
+            if alert_below is not None:
+                series.alert_below = alert_below
         return self.series[metric_name]
 
-    def _record(self, metric_name: str, time_s: float,
-                value: float) -> Alert | None:
-        series = self.metric(metric_name)
+    def _record(self, metric_name: str, time_s: float | None,
+                value: float, alert_above: float | None = None,
+                alert_below: float | None = None) -> Alert | None:
+        time_s = self._now(time_s)
+        series = self.metric(metric_name, alert_above=alert_above,
+                             alert_below=alert_below)
         alert = series.record(time_s, value)
         if self.bus is not None:
             self.bus.publish(
@@ -54,16 +88,19 @@ class ApplicationMonitor(_MonitorBase):
 
     kind = "application"
 
-    def record_completion(self, time_s: float, latency_s: float,
+    def record_completion(self, time_s: float | None = None,
+                          latency_s: float | None = None,
                           deadline_s: float | None = None) -> None:
         """Log one application-instance completion."""
+        if latency_s is None:
+            raise ConfigurationError("record_completion needs latency_s")
         self._record("latency_s", time_s, latency_s)
         if deadline_s is not None:
             self._record("deadline_miss", time_s,
                          1.0 if latency_s > deadline_s else 0.0)
 
-    def record_throughput(self, time_s: float,
-                          completions_per_s: float) -> None:
+    def record_throughput(self, time_s: float | None = None,
+                          completions_per_s: float = 0.0) -> None:
         self._record("throughput", time_s, completions_per_s)
 
     def miss_rate(self) -> float:
@@ -80,14 +117,18 @@ class TelemetryMonitor(_MonitorBase):
 
     kind = "telemetry"
 
-    def record_message(self, time_s: float, delivered: bool,
+    def record_message(self, time_s: float | None = None,
+                       delivered: bool = True,
                        latency_s: float | None = None) -> None:
         self._record("delivered", time_s, 1.0 if delivered else 0.0)
         if delivered and latency_s is not None:
             self._record("message_latency_s", time_s, latency_s)
 
-    def sample_network(self, time_s: float, network: Network) -> None:
+    def sample_network(self, time_s: float | None = None,
+                       network: Network | None = None) -> None:
         """Snapshot per-link load into the series."""
+        if network is None:
+            raise ConfigurationError("sample_network needs a network")
         for link in network.links:
             key = f"link_{link.a}-{link.b}_bytes"
             self._record(key, time_s, float(link.bytes_carried))
@@ -111,8 +152,11 @@ class InfrastructureMonitor(_MonitorBase):
 
     kind = "infrastructure"
 
-    def sample_device(self, time_s: float, device: Device) -> dict[str, Any]:
+    def sample_device(self, time_s: float | None = None,
+                      device: Device | None = None) -> dict[str, Any]:
         """Pull one telemetry sample from a device into the series."""
+        if device is None:
+            raise ConfigurationError("sample_device needs a device")
         sample = device.telemetry()
         for key in ("utilization", "queue_length", "energy_j"):
             self._record(f"{device.name}.{key}", time_s, sample[key])
@@ -121,6 +165,26 @@ class InfrastructureMonitor(_MonitorBase):
             self._record(f"{device.name}.reconfigurations", time_s,
                          sample["reconfigurations"])
         return sample
+
+    def watch_device_faults(self) -> None:
+        """Record continuum fault events from the shared bus.
+
+        Each ``continuum.fault.fail``/``.repair`` becomes a sample on
+        the ``<device>.failed`` series (1.0 while down), stamped with
+        the canonical clock — so the monitor sees a fault at the same
+        simulated instant as every other subscriber.
+        """
+        if self.ctx is None:
+            raise ConfigurationError(
+                "watch_device_faults() needs an injected RuntimeContext")
+
+        def _on_fault(topic: str, payload) -> None:
+            device = (payload or {}).get("device")
+            if device is not None:
+                self._record(f"{device}.failed", None,
+                             0.0 if topic.endswith(".repair") else 1.0)
+
+        self.ctx.subscribe("continuum.fault.*", _on_fault)
 
     def device_utilization(self, device_name: str) -> float | None:
         series = self.series.get(f"{device_name}.utilization")

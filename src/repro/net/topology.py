@@ -15,6 +15,7 @@ import networkx as nx
 
 from repro.core.errors import ConfigurationError, NotFoundError
 from repro.continuum.simulator import Simulator
+from repro.runtime import as_simulator
 
 
 @dataclass
@@ -64,7 +65,7 @@ class Network:
     """The continuum's communication fabric."""
 
     def __init__(self, sim: Simulator):
-        self.sim = sim
+        self.sim = as_simulator(sim)
         self.graph = nx.Graph()
         self._links: dict[tuple[str, str], Link] = {}
         self.transfers: list[TransferResult] = []

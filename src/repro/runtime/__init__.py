@@ -1,0 +1,25 @@
+"""Runtime layer: the shared spine every subsystem is injected with.
+
+:class:`RuntimeContext` owns the canonical simulator (virtual clock),
+the traced event bus, the RNG seed tree and the structured trace
+recorder; ``ensure_context`` / ``as_simulator`` normalize legacy
+``Simulator``-style injection onto it. See DESIGN.md ("Runtime layer").
+"""
+
+from repro.runtime.context import (
+    RuntimeContext,
+    TracedEventBus,
+    as_simulator,
+    ensure_context,
+)
+from repro.runtime.trace import TraceRecord, TraceRecorder, jsonify
+
+__all__ = [
+    "RuntimeContext",
+    "TracedEventBus",
+    "TraceRecord",
+    "TraceRecorder",
+    "as_simulator",
+    "ensure_context",
+    "jsonify",
+]

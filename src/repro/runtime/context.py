@@ -1,0 +1,146 @@
+"""The shared runtime spine of the continuum: one clock, one bus, one RNG tree.
+
+The paper's architecture is a *single* cognitive computing continuum in
+which monitoring, MIRTO orchestration and the low-level (Kubernetes-like)
+orchestrator observe and act on the same evolving system state. A
+:class:`RuntimeContext` is that shared state's plumbing: it owns the
+canonical :class:`~repro.continuum.simulator.Simulator` (virtual clock),
+the :class:`~repro.core.events.EventBus` (every publish is stamped with
+simulated time and recorded in the trace), the
+:class:`~repro.core.rng.RngRegistry` seed tree, and the structured
+:class:`~repro.runtime.trace.TraceRecorder`.
+
+All subsystems are *injected* with a context instead of self-wiring;
+``continuum-lint`` (rule ``runtime-construction``) forbids direct
+``Simulator()`` / ``EventBus()`` construction anywhere else. Two runs
+built from contexts with the same seed produce byte-identical trace
+exports — deterministic replay across every layer at once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.events import EventBus, Handler, Subscription
+from repro.core.rng import RngRegistry, derive_seed
+from repro.runtime.trace import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import random
+
+    import numpy as np
+
+    from repro.continuum.simulator import Simulator
+
+
+def _simulator_cls():
+    # Imported lazily: repro.continuum imports repro.runtime at module
+    # load, so a top-level import here would be circular.
+    from repro.continuum.simulator import Simulator
+    return Simulator
+
+
+class TracedEventBus(EventBus):
+    """Event bus that stamps every publish with the canonical sim time.
+
+    Each :meth:`publish` appends a trace record *before* delivery, so
+    even topics nobody subscribes to are visible on the shared timeline.
+    """
+
+    def __init__(self, clock: Callable[[], float], trace: TraceRecorder):
+        super().__init__()
+        self._clock = clock
+        self._trace = trace
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        self._trace.record(self._clock(), topic, payload)
+        return super().publish(topic, payload)
+
+
+class RuntimeContext:
+    """Owns the simulator, event bus, RNG seed tree and trace recorder."""
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0,
+                 trace_capacity: int = 65536,
+                 sim: "Simulator | None" = None):
+        self.seed = int(seed)
+        self.sim: "Simulator" = (sim if sim is not None
+                                 else _simulator_cls()(start_time))
+        self.rng = RngRegistry(self.seed)
+        self.trace = TraceRecorder(capacity=trace_capacity)
+        self.bus: EventBus = TracedEventBus(lambda: self.sim.now, self.trace)
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Canonical simulated time in seconds."""
+        return self.sim.now
+
+    def run(self, until: Any = None) -> Any:
+        """Advance the canonical clock (delegates to the simulator)."""
+        return self.sim.run(until)
+
+    # -- bus ---------------------------------------------------------------
+
+    def publish(self, topic: str, payload: Any = None) -> int:
+        """Publish on the shared bus (traced, time-stamped)."""
+        return self.bus.publish(topic, payload)
+
+    def subscribe(self, pattern: str, handler: Handler) -> Subscription:
+        """Subscribe on the shared bus."""
+        return self.bus.subscribe(pattern, handler)
+
+    # -- rng spine ---------------------------------------------------------
+
+    def python_rng(self, name: str) -> "random.Random":
+        """Named, independently seeded ``random.Random`` stream."""
+        return self.rng.python(name)
+
+    def numpy_rng(self, name: str) -> "np.random.Generator":
+        """Named, independently seeded numpy generator stream."""
+        return self.rng.numpy(name)
+
+    def fork(self, name: str) -> "RuntimeContext":
+        """Child context: same clock/bus/trace, derived RNG subtree.
+
+        Use when a subsystem needs its own seed lineage while staying on
+        the shared timeline.
+        """
+        child = object.__new__(RuntimeContext)
+        child.seed = derive_seed(self.seed, name)
+        child.sim = self.sim
+        child.rng = self.rng.fork(name)
+        child.trace = self.trace
+        child.bus = self.bus
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"RuntimeContext(seed={self.seed}, now={self.now}, "
+                f"trace={len(self.trace)} records)")
+
+
+def ensure_context(obj: Any = None, *, seed: int = 0) -> RuntimeContext:
+    """Normalize constructor inputs to a :class:`RuntimeContext`.
+
+    Accepts an existing context (returned as-is), a bare
+    :class:`Simulator` (wrapped — the legacy injection style), or None
+    (a fresh context). Centralizing this keeps ``Simulator()`` /
+    ``EventBus()`` construction inside ``repro.runtime``.
+    """
+    if isinstance(obj, RuntimeContext):
+        return obj
+    if obj is None:
+        return RuntimeContext(seed=seed)
+    if isinstance(obj, _simulator_cls()):
+        return RuntimeContext(seed=seed, sim=obj)
+    raise TypeError(
+        f"expected RuntimeContext, Simulator or None, got "
+        f"{type(obj).__name__}")
+
+
+def as_simulator(obj: Any) -> "Simulator":
+    """The canonical simulator behind *obj* (context or simulator)."""
+    if isinstance(obj, RuntimeContext):
+        return obj.sim
+    return obj

@@ -1,0 +1,139 @@
+"""Structured trace recording for cross-layer observability.
+
+Every publish on a :class:`~repro.runtime.context.RuntimeContext` bus is
+stamped with the canonical simulated time and appended here, so one
+causally ordered record stream covers device faults, kube control-plane
+transitions, MAPE phases and monitor samples alike. The recorder is a
+bounded ring buffer (old records fall off the front) and exports JSONL
+whose byte content is deterministic for a given seed — the substrate of
+the deterministic-replay guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import topic_matches
+
+
+def jsonify(value: Any) -> Any:
+    """Reduce *value* to deterministic JSON-serializable primitives.
+
+    Dataclasses become field dicts, enums their values, sets sorted
+    lists. Objects with no stable representation collapse to a type
+    marker rather than a ``repr`` (which may embed memory addresses and
+    would break byte-identical trace exports).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonify(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, Enum):
+        return jsonify(value.value)
+    if isinstance(value, dict):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((jsonify(v) for v in value),
+                      key=lambda v: json.dumps(v, sort_keys=True))
+    if isinstance(value, bytes):
+        return value.hex()
+    return f"<{type(value).__name__}>"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One time-stamped, topic-tagged observation."""
+
+    seq: int
+    time_s: float
+    topic: str
+    payload: Any
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seq": self.seq, "time_s": self.time_s, "topic": self.topic,
+             "payload": self.payload},
+            sort_keys=True, separators=(",", ":"))
+
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceRecord` with JSONL export."""
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ConfigurationError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, time_s: float, topic: str,
+               payload: Any = None) -> TraceRecord:
+        """Append one record; payload is normalized via :func:`jsonify`."""
+        rec = TraceRecord(seq=self._seq, time_s=float(time_s), topic=topic,
+                          payload=jsonify(payload))
+        self._seq += 1
+        self._records.append(rec)
+        return rec
+
+    @property
+    def total_recorded(self) -> int:
+        """Records ever appended (including any that fell off the ring)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Records evicted by the ring bound."""
+        return self._seq - len(self._records)
+
+    def records(self, topic_pattern: str | None = None,
+                since_s: float | None = None) -> list[TraceRecord]:
+        """Retained records, optionally filtered by topic pattern/time.
+
+        *topic_pattern* uses the event-bus wildcard syntax (``*`` one
+        segment, ``**`` any remainder).
+        """
+        out = []
+        for rec in self._records:
+            if since_s is not None and rec.time_s < since_s:
+                continue
+            if topic_pattern is not None and \
+                    not topic_matches(topic_pattern, rec.topic):
+                continue
+            out.append(rec)
+        return out
+
+    def at_time(self, time_s: float, tolerance: float = 0.0
+                ) -> list[TraceRecord]:
+        """Records stamped at *time_s* (within *tolerance*)."""
+        return [r for r in self._records
+                if abs(r.time_s - time_s) <= tolerance]
+
+    def to_jsonl(self) -> str:
+        """The retained trace as a JSONL string (deterministic bytes)."""
+        return "\n".join(rec.to_json() for rec in self._records)
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the retained trace to *path*; returns records written."""
+        text = self.to_jsonl()
+        Path(path).write_text(text + ("\n" if text else ""))
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop retained records (the sequence counter keeps advancing)."""
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)

@@ -226,6 +226,60 @@ class TestSeedEntropyRule:
         assert findings == []
 
 
+class TestRuntimeConstructionRule:
+    def test_direct_simulator_flagged(self):
+        findings = lint("""
+            from repro.continuum.simulator import Simulator
+            sim = Simulator()
+        """)
+        assert rules_of(findings) == ["runtime-construction"]
+        assert "RuntimeContext" in findings[0].message
+
+    def test_package_reexport_flagged(self):
+        findings = lint("""
+            from repro.continuum import Simulator
+            sim = Simulator(start_time=5.0)
+        """)
+        assert rules_of(findings) == ["runtime-construction"]
+
+    def test_direct_eventbus_flagged(self):
+        findings = lint("""
+            from repro.core.events import EventBus
+            bus = EventBus()
+        """)
+        assert rules_of(findings) == ["runtime-construction"]
+
+    def test_aliased_import_flagged(self):
+        findings = lint("""
+            from repro.core.events import EventBus as Bus
+            bus = Bus()
+        """)
+        assert rules_of(findings) == ["runtime-construction"]
+
+    def test_runtime_layer_allowed(self):
+        findings = lint("""
+            from repro.continuum.simulator import Simulator
+            sim = Simulator()
+        """, path="src/repro/runtime/context.py")
+        assert findings == []
+
+    def test_tests_allowed(self):
+        findings = lint("""
+            from repro.core.events import EventBus
+            bus = EventBus()
+        """, path="tests/test_events.py")
+        assert findings == []
+
+    def test_context_injection_ok(self):
+        findings = lint("""
+            from repro.runtime import RuntimeContext
+
+            def build(ctx: RuntimeContext):
+                return ctx.sim, ctx.bus
+        """)
+        assert findings == []
+
+
 class TestPragmas:
     SOURCE = """
         import random
@@ -325,7 +379,8 @@ class TestBaseline:
 class TestEngine:
     def test_all_expected_rules_registered(self):
         assert {"global-random", "wall-clock", "mutable-default",
-                "overbroad-except", "seed-entropy"} <= set(all_rules())
+                "overbroad-except", "seed-entropy",
+                "runtime-construction"} <= set(all_rules())
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint("def broken(:\n")

@@ -64,6 +64,29 @@ class TestTopicMatching:
     def test_length_mismatch(self):
         assert not topic_matches("a.b.c", "a.b")
 
+    def test_mid_pattern_double_wildcard(self):
+        assert topic_matches("a.**.z", "a.z")
+        assert topic_matches("a.**.z", "a.b.z")
+        assert topic_matches("a.**.z", "a.b.c.z")
+        assert not topic_matches("a.**.z", "a.b.c")
+        assert not topic_matches("a.**.z", "b.z")
+
+    def test_double_wildcard_matches_zero_segments_at_tail(self):
+        assert topic_matches("a.**", "a")
+
+    def test_leading_double_wildcard(self):
+        assert topic_matches("**.z", "z")
+        assert topic_matches("**.z", "a.b.z")
+        assert not topic_matches("**.z", "a.b")
+
+    def test_single_wildcard_arity(self):
+        # `*` matches exactly one segment, never zero or two.
+        assert not topic_matches("a.*", "a")
+        assert not topic_matches("a.*.c", "a.c")
+        assert not topic_matches("a.*.c", "a.b.b.c")
+        assert topic_matches("*.*", "a.b")
+        assert not topic_matches("*.*", "a")
+
 
 class TestEventBus:
     def test_delivers_to_matching_subscribers(self):
@@ -104,3 +127,46 @@ class TestEventBus:
         bus.publish("x")
         bus.publish("x")
         assert bus.total_delivered == 2
+
+    def test_unsubscribe_other_during_publish(self):
+        # A handler that unsubscribes a later subscription mid-publish
+        # prevents its delivery for the same event.
+        bus = EventBus()
+        seen = []
+        subs = {}
+        subs["a"] = bus.subscribe(
+            "x", lambda t, p: (seen.append("a"),
+                               bus.unsubscribe(subs["b"])))
+        subs["b"] = bus.subscribe("x", lambda t, p: seen.append("b"))
+        assert bus.publish("x") == 1
+        assert seen == ["a"]
+        bus.publish("x")
+        assert seen == ["a", "a"]
+
+    def test_self_unsubscribe_during_publish(self):
+        bus = EventBus()
+        seen = []
+        subs = {}
+        subs["once"] = bus.subscribe(
+            "x", lambda t, p: (seen.append(p),
+                               bus.unsubscribe(subs["once"])))
+        assert bus.publish("x", 1) == 1
+        assert bus.publish("x", 2) == 0
+        assert seen == [1]
+
+    def test_subscribe_during_publish_sees_only_later_events(self):
+        bus = EventBus()
+        seen = []
+
+        def late_handler(t, p):
+            seen.append(("late", p))
+
+        def adder(t, p):
+            seen.append(("adder", p))
+            bus.subscribe("x", late_handler)
+
+        sub = bus.subscribe("x", adder)
+        assert bus.publish("x", 1) == 1
+        bus.unsubscribe(sub)
+        assert bus.publish("x", 2) == 1
+        assert seen == [("adder", 1), ("late", 2)]

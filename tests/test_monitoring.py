@@ -167,3 +167,39 @@ class TestInfrastructureMonitor:
         mon._record("n.utilization", 0, 0.9)
         assert len(alerts) == 1
         assert alerts[0].direction == "above"
+
+    def test_record_threshold_plumbing(self):
+        # Regression: thresholds passed through _record used to be
+        # dropped when the series already existed — arming alerts after
+        # the first sample silently did nothing.
+        bus = EventBus()
+        alerts = []
+        bus.subscribe("alerts.**", lambda t, p: alerts.append(p))
+        mon = InfrastructureMonitor("infra", bus=bus)
+        mon._record("n.utilization", 0, 0.95)  # creates the series
+        assert alerts == []
+        mon._record("n.utilization", 1, 0.95, alert_above=0.8)
+        assert len(alerts) == 1
+        assert alerts[0].threshold == 0.8
+
+    def test_metric_rearms_existing_series(self):
+        mon = InfrastructureMonitor("infra")
+        series = mon.metric("x")
+        assert series.alert_above is None
+        rearmed = mon.metric("x", alert_above=0.5, alert_below=0.1)
+        assert rearmed is series
+        assert series.alert_above == 0.5
+        assert series.alert_below == 0.1
+
+    def test_ctx_clock_default(self):
+        from repro.runtime import RuntimeContext
+        ctx = RuntimeContext()
+        ctx.run(until=7.0)
+        mon = InfrastructureMonitor("infra", ctx=ctx)
+        mon._record("n.utilization", None, 0.5)
+        assert mon.series["n.utilization"].samples[-1] == (7.0, 0.5)
+
+    def test_no_ctx_no_time_raises(self):
+        mon = InfrastructureMonitor("infra")
+        with pytest.raises(ConfigurationError):
+            mon._record("n.utilization", None, 0.5)

@@ -1,0 +1,208 @@
+"""Tests for the repro.runtime layer: context, traced bus, recorder."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.continuum.simulator import Simulator
+from repro.core.errors import ConfigurationError
+from repro.runtime import (
+    RuntimeContext,
+    TraceRecorder,
+    as_simulator,
+    ensure_context,
+    jsonify,
+)
+
+
+class TestRuntimeContext:
+    def test_now_mirrors_simulator_clock(self):
+        ctx = RuntimeContext()
+        assert ctx.now == 0.0
+        ctx.run(until=3.5)
+        assert ctx.now == 3.5 == ctx.sim.now
+
+    def test_start_time(self):
+        ctx = RuntimeContext(start_time=10.0)
+        assert ctx.now == 10.0
+
+    def test_publish_delivers_and_traces(self):
+        ctx = RuntimeContext()
+        seen = []
+        ctx.subscribe("a.*", lambda t, p: seen.append((t, p)))
+        delivered = ctx.publish("a.b", {"x": 1})
+        assert delivered == 1
+        assert seen == [("a.b", {"x": 1})]
+        assert [r.topic for r in ctx.trace] == ["a.b"]
+
+    def test_zero_subscriber_publish_still_traced(self):
+        ctx = RuntimeContext()
+        assert ctx.publish("nobody.listens") == 0
+        assert ctx.bus.total_delivered == 0
+        assert len(ctx.trace) == 1
+
+    def test_trace_stamped_with_sim_time(self):
+        ctx = RuntimeContext()
+
+        def proc(ctx):
+            yield ctx.sim.timeout(2.0)
+            ctx.publish("late.event")
+
+        ctx.sim.process(proc(ctx))
+        ctx.run()
+        (rec,) = ctx.trace.records("late.event")
+        assert rec.time_s == 2.0
+
+    def test_named_rng_streams_deterministic(self):
+        a = RuntimeContext(seed=7).python_rng("stream")
+        b = RuntimeContext(seed=7).python_rng("stream")
+        c = RuntimeContext(seed=8).python_rng("stream")
+        draws = [a.random() for _ in range(5)]
+        assert draws == [b.random() for _ in range(5)]
+        assert draws != [c.random() for _ in range(5)]
+
+    def test_fork_shares_timeline_but_not_streams(self):
+        ctx = RuntimeContext(seed=1)
+        child = ctx.fork("subsystem")
+        assert child.sim is ctx.sim
+        assert child.bus is ctx.bus
+        assert child.trace is ctx.trace
+        assert child.seed != ctx.seed
+        parent_draw = ctx.python_rng("s").random()
+        child_draw = child.python_rng("s").random()
+        assert parent_draw != child_draw
+        # The child's publishes land on the shared trace.
+        child.publish("from.child")
+        assert ctx.trace.records("from.child")
+
+
+class TestEnsureContext:
+    def test_context_passthrough(self):
+        ctx = RuntimeContext()
+        assert ensure_context(ctx) is ctx
+
+    def test_none_creates_fresh(self):
+        ctx = ensure_context(None, seed=3)
+        assert isinstance(ctx, RuntimeContext)
+        assert ctx.seed == 3
+
+    def test_simulator_wrapped(self):
+        sim = Simulator(start_time=4.0)
+        ctx = ensure_context(sim)
+        assert ctx.sim is sim
+        assert ctx.now == 4.0
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_context("not a simulator")
+
+    def test_as_simulator(self):
+        ctx = RuntimeContext()
+        assert as_simulator(ctx) is ctx.sim
+        sim = Simulator()
+        assert as_simulator(sim) is sim
+
+
+class _Color(enum.Enum):
+    RED = "red"
+
+
+@dataclass
+class _Point:
+    x: int
+    tags: frozenset
+
+
+class TestJsonify:
+    def test_primitives_pass_through(self):
+        assert jsonify(None) is None
+        assert jsonify(3) == 3
+        assert jsonify("s") == "s"
+
+    def test_dataclass_and_enum_and_set(self):
+        out = jsonify(_Point(x=1, tags=frozenset({"b", "a"})))
+        assert out == {"x": 1, "tags": ["a", "b"]}
+        assert jsonify(_Color.RED) == "red"
+
+    def test_bytes_hex(self):
+        assert jsonify(b"\x01\xff") == "01ff"
+
+    def test_opaque_object_collapses_to_type_marker(self):
+        class Weird:
+            pass
+
+        assert jsonify(Weird()) == "<Weird>"
+        # No memory address leaks into the trace.
+        assert jsonify(Weird()) == jsonify(Weird())
+
+
+class TestTraceRecorder:
+    def test_ring_buffer_drops_oldest(self):
+        trace = TraceRecorder(capacity=3)
+        for i in range(5):
+            trace.record(float(i), f"t.{i}")
+        assert len(trace) == 3
+        assert trace.total_recorded == 5
+        assert trace.dropped == 2
+        assert [r.topic for r in trace] == ["t.2", "t.3", "t.4"]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(capacity=0)
+
+    def test_topic_and_time_filters(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a.x")
+        trace.record(1.0, "a.y")
+        trace.record(2.0, "b.x")
+        assert [r.topic for r in trace.records("a.*")] == ["a.x", "a.y"]
+        assert [r.topic for r in trace.records(since_s=1.0)] == \
+            ["a.y", "b.x"]
+        assert [r.topic for r in trace.records("**.x", since_s=1.0)] == \
+            ["b.x"]
+
+    def test_at_time(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "a")
+        trace.record(1.0, "b")
+        trace.record(2.0, "c")
+        assert [r.topic for r in trace.at_time(1.0)] == ["a", "b"]
+
+    def test_export_jsonl(self, tmp_path):
+        trace = TraceRecorder()
+        trace.record(0.5, "t", {"k": [1, 2]})
+        path = tmp_path / "trace.jsonl"
+        assert trace.export_jsonl(path) == 1
+        line = path.read_text().strip()
+        assert line == ('{"payload":{"k":[1,2]},"seq":0,'
+                        '"time_s":0.5,"topic":"t"}')
+
+    def test_clear_keeps_sequence(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "a")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.record(1.0, "b").seq == 1
+
+
+class TestDeterministicReplay:
+    @staticmethod
+    def _run_once(seed):
+        ctx = RuntimeContext(seed=seed)
+        rng = ctx.python_rng("workload")
+
+        def proc(ctx, rng):
+            for i in range(5):
+                yield ctx.sim.timeout(rng.random())
+                ctx.publish("tick", {"i": i, "draw": rng.random()})
+
+        ctx.sim.process(proc(ctx, rng))
+        ctx.run()
+        return ctx.trace.to_jsonl()
+
+    def test_same_seed_byte_identical(self):
+        assert self._run_once(42) == self._run_once(42)
+
+    def test_different_seed_diverges(self):
+        assert self._run_once(42) != self._run_once(43)

@@ -232,6 +232,98 @@ class TestInterrupts:
         sim.run()
 
 
+class TestFailureDelivery:
+    """Interrupts and plain event failures share one throw() path in
+    Process._resume; the waiter tells them apart by exception type."""
+
+    def test_plain_failure_delivered_as_original_exception(self):
+        sim = Simulator()
+        seen = []
+
+        def waiter(event):
+            try:
+                yield event
+            except ValueError as exc:
+                seen.append(("value-error", str(exc), sim.now))
+            except Interrupt:  # pragma: no cover - wrong branch
+                seen.append(("interrupt", None, sim.now))
+
+        def failer(event):
+            yield sim.timeout(3)
+            event.fail(ValueError("boom"))
+
+        event = sim.event()
+        sim.process(waiter(event))
+        sim.process(failer(event))
+        sim.run()
+        assert seen == [("value-error", "boom", 3)]
+
+    def test_interrupt_vs_failure_distinguished(self):
+        sim = Simulator()
+        seen = []
+
+        def waiter(tag, event):
+            try:
+                yield event
+            except Interrupt as intr:
+                seen.append((tag, "interrupt", intr.cause))
+            except RuntimeError as exc:
+                seen.append((tag, "failure", str(exc)))
+
+        interrupted = sim.event()
+        failed = sim.event()
+        p1 = sim.process(waiter("a", interrupted))
+        sim.process(waiter("b", failed))
+
+        def driver():
+            yield sim.timeout(1)
+            p1.interrupt("preempt")
+            failed.fail(RuntimeError("died"))
+
+        sim.process(driver())
+        sim.run()
+        assert sorted(seen) == [("a", "interrupt", "preempt"),
+                                ("b", "failure", "died")]
+
+    def test_delivered_failure_is_defused(self):
+        # A failure consumed by a waiting process must not re-raise
+        # out of step() as an un-waited-for error.
+        sim = Simulator()
+        recovered = []
+
+        def waiter(event):
+            try:
+                yield event
+            except KeyError:
+                recovered.append(sim.now)
+                yield sim.timeout(1)
+                recovered.append(sim.now)
+
+        event = sim.event()
+        sim.process(waiter(event))
+
+        def failer():
+            yield sim.timeout(2)
+            event.fail(KeyError("gone"))
+
+        sim.process(failer())
+        sim.run()  # would raise KeyError if the failure were not defused
+        assert recovered == [2, 3]
+
+    def test_run_until_failed_event_raises(self):
+        sim = Simulator()
+
+        def failer(event):
+            yield sim.timeout(5)
+            event.fail(OSError("device lost"))
+
+        event = sim.event()
+        sim.process(failer(event))
+        with pytest.raises(OSError, match="device lost"):
+            sim.run(until=event)
+        assert sim.now == 5
+
+
 class TestResource:
     def test_capacity_enforced(self):
         sim = Simulator()
