@@ -1,0 +1,41 @@
+"""Microbenchmark harness for the continuum's hot paths.
+
+``python -m benchmarks.perf`` times the code the simulation spends its
+life in — event-bus dispatch, the DES kernel, trace recording, MAPE
+ticks and swarm placement — and emits ``BENCH_perf.json`` (median-of-k
+ns/op and ops/s per scenario) plus a speedup table against the committed
+baseline in ``benchmarks/perf/baseline.json``.
+
+The workloads are fully deterministic (fixed seeds, fixed op counts);
+only the measured wall-clock durations vary between machines. CI runs
+``--quick --check`` and fails when any scenario regresses more than the
+allowed factor against the baseline.
+"""
+
+import sys
+from pathlib import Path
+
+# The harness is run from the repo root (`python -m benchmarks.perf`);
+# make `repro` importable even when PYTHONPATH=src was not exported.
+_SRC = Path(__file__).resolve().parents[2] / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment shim
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+from benchmarks.perf.harness import (  # noqa: E402
+    BenchResult,
+    compare,
+    format_table,
+    run_all,
+    write_results,
+)
+
+__all__ = [
+    "BenchResult",
+    "compare",
+    "format_table",
+    "run_all",
+    "write_results",
+]

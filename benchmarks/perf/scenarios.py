@@ -1,0 +1,226 @@
+"""The measured workloads: deterministic batches over the hot paths.
+
+Every scenario seeds its own RNGs and uses fixed op counts, so two runs
+on the same commit execute byte-for-byte the same work. Scenario names
+are stable identifiers — the committed baseline and CI regression gate
+key on them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.events import EventBus
+from repro.continuum.simulator import Simulator
+from repro.continuum.workload import Application, Task
+from repro.runtime import RuntimeContext
+from repro.runtime.trace import TraceRecorder
+
+from benchmarks.perf.harness import scenario
+
+# -- event bus dispatch -----------------------------------------------------
+
+# Published topics cycle over a bounded set: real traffic concentrates on
+# a small topic vocabulary (fault/mape/deploy/metric channels), which is
+# what makes dispatch caching representative rather than flattering.
+_TOPIC_CYCLE = 32
+
+
+def _count_handler(counter):
+    def handler(topic, payload):
+        counter[0] += 1
+    return handler
+
+
+def _bus_scenario(n_subs: int, kind: str, n_ops: int):
+    bus = EventBus()
+    counter = [0]
+    for i in range(n_subs):
+        if kind == "exact":
+            pattern = f"bench.exact.t{i % _TOPIC_CYCLE:04d}"
+        elif kind == "star":
+            pattern = f"bench.star.s{i % _TOPIC_CYCLE:04d}.*"
+        else:  # mid-pattern ** glob
+            pattern = f"bench.glob.**.g{i % 16}"
+        bus.subscribe(pattern, _count_handler(counter))
+    if kind == "exact":
+        topics = [f"bench.exact.t{j % _TOPIC_CYCLE:04d}"
+                  for j in range(_TOPIC_CYCLE)]
+    elif kind == "star":
+        topics = [f"bench.star.s{j % _TOPIC_CYCLE:04d}.x"
+                  for j in range(_TOPIC_CYCLE)]
+    else:
+        topics = [f"bench.glob.a.b.g{j % 16}" for j in range(_TOPIC_CYCLE)]
+
+    def run():
+        publish = bus.publish
+        for j in range(n_ops):
+            publish(topics[j % _TOPIC_CYCLE], j)
+    return n_ops, run
+
+
+def _register_bus(kind: str, n_subs: int, full_ops: int):
+    name = f"bus.publish.{kind}.{n_subs}"
+
+    @scenario(name)
+    def make(quick: bool, _kind=kind, _n=n_subs, _ops=full_ops):
+        return _bus_scenario(_n, _kind, _ops // 10 if quick else _ops)
+
+
+for _kind in ("exact", "star", "midglob"):
+    _register_bus(_kind, 10, 20_000)
+    _register_bus(_kind, 100, 5_000)
+    _register_bus(_kind, 1000, 500)
+
+
+# -- DES kernel -------------------------------------------------------------
+
+@scenario("sim.timeout_storm")
+def _timeout_storm(quick: bool):
+    n_ops = 5_000 if quick else 50_000
+    sim = Simulator()
+    rng = random.Random(42)
+    delays = [rng.random() * 100.0 for _ in range(n_ops)]
+
+    def run():
+        timeout = sim.timeout
+        for delay in delays:
+            timeout(delay)
+        sim.run()
+    return n_ops, run
+
+
+@scenario("sim.process_churn")
+def _process_churn(quick: bool):
+    n_ops = 2_000 if quick else 20_000
+    sim = Simulator()
+
+    def worker(s):
+        yield s.timeout(0)
+        yield s.timeout(0)
+
+    def run():
+        process = sim.process
+        for _ in range(n_ops):
+            process(worker(sim))
+        sim.run()
+    return n_ops, run
+
+
+# -- trace recording --------------------------------------------------------
+
+@scenario("trace.record.flat")
+def _trace_record(quick: bool):
+    n_ops = 10_000 if quick else 100_000
+    recorder = TraceRecorder(capacity=1 << 16)
+
+    def run():
+        record = recorder.record
+        for i in range(n_ops):
+            record(float(i), "bench.metric.sample",
+                   {"device": "mc-00-0", "value": 0.5, "seq": i,
+                    "ok": True})
+    return n_ops, run
+
+
+@scenario("trace.export_jsonl")
+def _trace_export(quick: bool):
+    n_records = 2_000 if quick else 20_000
+    recorder = TraceRecorder(capacity=1 << 16)
+    for i in range(n_records):
+        recorder.record(float(i), "bench.metric.sample",
+                        {"device": "fpga-01-0", "value": i * 0.25,
+                         "nested": {"a": 1, "b": [1, 2, 3]}})
+
+    def run():
+        recorder.to_jsonl()
+    return n_records, run
+
+
+# -- MAPE loop --------------------------------------------------------------
+
+@scenario("mape.tick")
+def _mape_tick(quick: bool):
+    from repro.mirto import CognitiveEngine, EngineConfig
+
+    n_ops = 3 if quick else 15
+    engine = CognitiveEngine(EngineConfig(seed=1))
+
+    def run():
+        engine.mape_iterate(n_ops)
+    return n_ops, run
+
+
+# -- swarm placement --------------------------------------------------------
+
+def _bench_application() -> Application:
+    app = Application("bench-dag")
+    for i in range(8):
+        app.add_task(Task(name=f"t{i}", megaops=200.0 + 150.0 * i,
+                          input_bytes=100_000, output_bytes=50_000,
+                          memory_bytes=16 * 2**20))
+    app.connect("t0", "t1", 80_000)
+    app.connect("t0", "t2", 60_000)
+    app.connect("t0", "t3", 40_000)
+    app.connect("t1", "t4", 70_000)
+    app.connect("t2", "t4", 50_000)
+    app.connect("t3", "t5", 30_000)
+    app.connect("t4", "t6", 90_000)
+    app.connect("t5", "t6", 20_000)
+    app.connect("t6", "t7", 110_000)
+    return app
+
+
+def _placement_scenario(strategy: str, n_ops: int):
+    from repro.continuum import build_reference_infrastructure
+    from repro.mirto.placement import (
+        AcoPlacement,
+        PlacementConstraints,
+        PsoPlacement,
+    )
+
+    ctx = RuntimeContext(seed=9)
+    infra = build_reference_infrastructure(ctx)
+    app = _bench_application()
+    constraints = PlacementConstraints(source_device="mc-00-0")
+    rng = random.Random(7)
+    cls = {"pso": PsoPlacement, "aco": AcoPlacement}[strategy]
+    placer = cls(rng, iterations=12)
+
+    def run():
+        for _ in range(n_ops):
+            placer.place(app, infra, constraints)
+    return n_ops, run
+
+
+@scenario("placement.pso.place")
+def _pso(quick: bool):
+    return _placement_scenario("pso", 2 if quick else 6)
+
+
+@scenario("placement.aco.place")
+def _aco(quick: bool):
+    return _placement_scenario("aco", 2 if quick else 6)
+
+
+@scenario("placement.kpi_estimate")
+def _kpi_estimate(quick: bool):
+    from repro.continuum import build_reference_infrastructure
+    from repro.mirto.placement import (
+        GreedyPlacement,
+        PlacementConstraints,
+        estimate_placement_kpis,
+    )
+
+    n_ops = 300 if quick else 2_000
+    ctx = RuntimeContext(seed=9)
+    infra = build_reference_infrastructure(ctx)
+    app = _bench_application()
+    constraints = PlacementConstraints(source_device="mc-00-0")
+    placement = GreedyPlacement().place(app, infra, constraints)
+
+    def run():
+        for _ in range(n_ops):
+            estimate_placement_kpis(app, placement, infra,
+                                    source_device="mc-00-0")
+    return n_ops, run

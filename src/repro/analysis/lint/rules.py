@@ -203,6 +203,76 @@ class RuntimeConstructionRule(Rule):
 
 
 @register_rule
+class HotPathAllocationRule(Rule):
+    """Functions marked ``# perf: hot`` must not allocate per call.
+
+    The pragma marks dispatch/scheduling/serialization hot paths whose
+    cost was measured and paid down (see benchmarks/perf). A
+    comprehension or ``list(...)`` copy creeping back into one of them
+    is how the win quietly erodes, so the gate flags them; hoist the
+    allocation out of the hot path (as ``EventBus.publish`` does with
+    ``_build_dispatch``) or drop the pragma if the function is no
+    longer hot.
+    """
+
+    rule_id = "hot-path-allocation"
+    description = ("list/dict/set comprehension or list() copy inside "
+                   "a function marked '# perf: hot'")
+    severity = Severity.WARNING
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    _COMPREHENSIONS = {
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+    }
+
+    def on_node(self, node: ast.FunctionDef, ctx: LintContext) -> None:
+        if not self._is_hot(node, ctx):
+            return
+        for inner in self._own_nodes(node):
+            kind = self._COMPREHENSIONS.get(type(inner))
+            if kind is not None:
+                ctx.report(self, inner,
+                           f"function {node.name} is marked '# perf: "
+                           f"hot' but builds a {kind}; hoist it out of "
+                           "the hot path")
+            elif isinstance(inner, ast.Call) \
+                    and isinstance(inner.func, ast.Name) \
+                    and inner.func.id == "list" \
+                    and len(inner.args) == 1 and not inner.keywords:
+                ctx.report(self, inner,
+                           f"function {node.name} is marked '# perf: "
+                           "hot' but copies with list(); iterate the "
+                           "original instead")
+
+    @staticmethod
+    def _is_hot(node: ast.FunctionDef, ctx: LintContext) -> bool:
+        """The pragma may sit on any line of the (multi-line) signature."""
+        first_body_line = node.body[0].lineno if node.body \
+            else node.lineno + 1
+        return any("# perf: hot" in ctx.source_line(line)
+                   for line in range(node.lineno, first_body_line))
+
+    @staticmethod
+    def _own_nodes(func: ast.FunctionDef):
+        """Walk the function body, pruning nested scopes.
+
+        Nested defs are dispatched to this rule as their own nodes (and
+        comprehensions/lambdas inside them run in the nested scope), so
+        they are not this function's per-call cost.
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
 class SeedEntropyRule(Rule):
     """Child seeds must come from ``derive_seed``, not RNG floats/hash().
 

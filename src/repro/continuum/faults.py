@@ -123,6 +123,7 @@ class FaultInjector:
     def _fail(self, device: Device) -> None:
         now = self.ctx.now
         device.failed = True
+        self.infrastructure.bump_generation()
         self.tracker.record(FaultEvent(device.name, "fail", now))
         # Interrupt in-flight work: waiting requests and running tasks
         # both lose their slot (the executing processes see Interrupt).
@@ -137,6 +138,7 @@ class FaultInjector:
     def _repair(self, device: Device) -> None:
         now = self.ctx.now
         device.failed = False
+        self.infrastructure.bump_generation()
         self.tracker.record(FaultEvent(device.name, "repair", now))
         self.ctx.publish("continuum.fault.repair", {
             "device": device.name, "time_s": now})

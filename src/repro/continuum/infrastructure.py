@@ -65,6 +65,22 @@ class Infrastructure:
         self.devices: dict[str, Device] = {}
         self.offloads = OffloadStats()
         self._ids = IdGenerator()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of cost-relevant infrastructure changes.
+
+        Bumped when devices are added, when links change (delegated to
+        the network's counter) and when faults fail/repair a device.
+        Placement-cost caches are valid exactly as long as this value
+        is unchanged.
+        """
+        return self._generation + self.network.generation
+
+    def bump_generation(self) -> None:
+        """Mark the infrastructure changed (invalidates cost caches)."""
+        self._generation += 1
 
     # -- construction ---------------------------------------------------------
 
@@ -95,6 +111,7 @@ class Infrastructure:
                 bandwidth_bps=link_bw_bps if link_bw_bps is not None
                 else bandwidth,
             )
+        self._generation += 1
         self.ctx.publish("continuum.infra.device-added", {
             "device": name, "kind": kind.value,
             "layer": device.spec.layer.value})

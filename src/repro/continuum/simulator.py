@@ -21,8 +21,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.core.errors import ReproError
@@ -44,6 +44,12 @@ class Interrupt(Exception):
 URGENT = 0
 NORMAL = 1
 
+# Heap entries are (time, key, event) where key packs (priority, seq)
+# into one int: priority in the top bits, the schedule sequence number
+# in the low 56. One packed int compares cheaper than two tuple slots;
+# 2**56 schedules at 10M events/s would take two centuries to exhaust.
+_SEQ_BITS = 56
+
 
 class Event:
     """A condition that may fire once at some point in simulated time.
@@ -51,6 +57,8 @@ class Event:
     Processes wait on events by yielding them. After the event fires,
     :attr:`value` carries its payload (or the exception, when failed).
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -84,13 +92,16 @@ class Event:
             raise SimulationError("event has not been triggered yet")
         return self._value
 
-    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":  # perf: hot
         """Schedule this event to fire successfully with *value*."""
         if self._ok is not None:
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        heappush(sim._queue,
+                 (sim._now, (priority << _SEQ_BITS) | sim._seq, self))
+        sim._seq += 1
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -101,7 +112,10 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, priority)
+        sim = self.sim
+        heappush(sim._queue,
+                 (sim._now, (priority << _SEQ_BITS) | sim._seq, self))
+        sim._seq += 1
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -116,14 +130,25 @@ class Event:
 class Timeout(Event):
     """Event that fires after a fixed delay."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):  # perf: hot
+        # Inlined Event.__init__ + scheduling: timeouts are the single
+        # most constructed object in a simulation (timeout(0) yields in
+        # polling loops especially), so skip the super() dispatch and
+        # the _schedule call. delay==0 takes the first branch free.
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        heappush(sim._queue,
+                 (sim._now + delay if delay else sim._now,
+                  (NORMAL << _SEQ_BITS) | sim._seq, self))
+        sim._seq += 1
 
 
 class Process(Event):
@@ -132,6 +157,8 @@ class Process(Event):
     The process event itself fires when the generator finishes; its value
     is the generator's return value (or the uncaught exception).
     """
+
+    __slots__ = ("generator", "name", "_waiting_on")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
@@ -144,8 +171,10 @@ class Process(Event):
         init = Event(sim)
         init._ok = True
         init._value = None
-        sim._schedule(init, URGENT)
-        init.add_callback(self._resume)
+        heappush(sim._queue,
+                 (sim._now, (URGENT << _SEQ_BITS) | sim._seq, init))
+        sim._seq += 1
+        init.callbacks.append(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -200,6 +229,8 @@ class Process(Event):
 class AllOf(Event):
     """Fires when every child event has fired; fails fast on first failure."""
 
+    __slots__ = ("events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -225,6 +256,8 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires as soon as any child event fires."""
 
+    __slots__ = ("events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
@@ -245,11 +278,13 @@ class AnyOf(Event):
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a priority queue of (time, packed-key, event)."""
+
+    __slots__ = ("_now", "_queue", "_seq", "processed_events")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.processed_events = 0
 
@@ -283,30 +318,31 @@ class Simulator:
     # -- scheduling and execution -------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
-        )
+        heappush(self._queue, (self._now + delay,
+                               (priority << _SEQ_BITS) | self._seq, event))
         self._seq += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         return self._queue[0][0] if self._queue else float("inf")
 
-    def step(self) -> None:
+    def step(self) -> None:  # perf: hot
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _key, event = heappop(self._queue)
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks or []:
-            callback(event)
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
         self.processed_events += 1
         if event._ok is False and not event._defused:
             # An un-waited-for failure must not pass silently.
             raise event._value
 
-    def run(self, until: float | Event | None = None) -> Any:
+    def run(self, until: float | Event | None = None) -> Any:  # perf: hot
         """Run until the queue drains, a deadline passes, or an event fires.
 
         ``until`` may be a time (run up to and including that instant), an
@@ -328,8 +364,25 @@ class Simulator:
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
             raise SimulationError("run(until=...) lies in the past")
-        while self._queue and self._queue[0][0] <= deadline:
-            self.step()
+        # Inlined step() drain loop: one bound method call per event is
+        # measurable at storm rates, and the queue/counter locals keep
+        # attribute loads out of the loop body.
+        queue = self._queue
+        processed = 0
+        try:
+            while queue and queue[0][0] <= deadline:
+                when, _key, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                processed += 1
+                if event._ok is False and not event._defused:
+                    raise event._value
+        finally:
+            self.processed_events += processed
         if self._now < deadline < float("inf"):
             self._now = deadline
         return None

@@ -113,6 +113,14 @@ class Application:
     def __init__(self, name: str):
         self.name = name
         self.graph = nx.DiGraph()
+        # Structure queries (topological order, predecessor lists, edge
+        # weights) are hot in placement estimation; they are cached and
+        # invalidated whenever the DAG mutates.
+        self._dag_version = 0
+        self._cache_version = -1
+        self._topo_tasks: list[Task] = []
+        self._preds: dict[str, list[str]] = {}
+        self._edges: dict[tuple[str, str], int] = {}
 
     def add_task(self, task: Task) -> Task:
         """Add *task*; names must be unique within the application."""
@@ -121,6 +129,7 @@ class Application:
                 f"application {self.name}: duplicate task {task.name!r}"
             )
         self.graph.add_node(task.name, task=task)
+        self._dag_version += 1
         return task
 
     def connect(self, src: str, dst: str, bytes_transferred: int = 0) -> None:
@@ -136,13 +145,26 @@ class Application:
             raise ValidationError(
                 f"application {self.name}: edge {src}->{dst} creates a cycle"
             )
+        self._dag_version += 1
+
+    def _refresh_structure(self) -> None:
+        if self._cache_version == self._dag_version:
+            return
+        self._topo_tasks = [
+            self.graph.nodes[n]["task"]
+            for n in nx.topological_sort(self.graph)
+        ]
+        self._preds = {n: list(self.graph.predecessors(n))
+                       for n in self.graph}
+        self._edges = {(u, v): data.get("bytes", 0)
+                       for u, v, data in self.graph.edges(data=True)}
+        self._cache_version = self._dag_version
 
     @property
     def tasks(self) -> list[Task]:
         """All tasks in topological order."""
-        return [
-            self.graph.nodes[n]["task"] for n in nx.topological_sort(self.graph)
-        ]
+        self._refresh_structure()
+        return list(self._topo_tasks)
 
     def task(self, name: str) -> Task:
         """Look up a task by name."""
@@ -154,7 +176,11 @@ class Application:
 
     def predecessors(self, name: str) -> list[str]:
         """Names of tasks that must finish before *name* starts."""
-        return list(self.graph.predecessors(name))
+        self._refresh_structure()
+        preds = self._preds.get(name)
+        if preds is None:  # unknown task: defer to the graph's error
+            return list(self.graph.predecessors(name))
+        return list(preds)
 
     def successors(self, name: str) -> list[str]:
         """Names of tasks unlocked by *name* finishing."""
@@ -162,7 +188,11 @@ class Application:
 
     def edge_bytes(self, src: str, dst: str) -> int:
         """Bytes transferred on the src->dst edge."""
-        return self.graph.edges[src, dst].get("bytes", 0)
+        self._refresh_structure()
+        nbytes = self._edges.get((src, dst))
+        if nbytes is None:  # unknown edge: defer to the graph's error
+            return self.graph.edges[src, dst].get("bytes", 0)
+        return nbytes
 
     def total_megaops(self) -> float:
         """Sum of compute demand over all tasks."""

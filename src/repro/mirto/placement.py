@@ -83,10 +83,76 @@ class Placement:
         return self.assignment[task_name]
 
 
-def estimate_placement_kpis(application: Application,
+class PlacementCostCache:
+    """Memoized per-(task, device, operating-point) cost terms.
+
+    The analytic KPI model is built from three pure terms — task
+    duration on a device, task energy on a device, and network transfer
+    time between two hosts — all of which are invariant while the
+    infrastructure's topology and fault state hold still. Swarm
+    optimizers evaluate thousands of candidate assignments over the
+    same few hundred distinct terms, so memoizing them turns
+    :func:`estimate_placement_kpis` incremental.
+
+    Validity is keyed on :attr:`Infrastructure.generation`: the cache
+    self-invalidates whenever devices/links were added or a fault
+    failed/repaired a device. Operating-point switches need no
+    generation bump because the active point's name is part of every
+    duration/energy key.
+    """
+
+    def __init__(self, infrastructure: Infrastructure):
+        self.infrastructure = infrastructure
+        self._generation = infrastructure.generation
+        self._duration: dict[tuple, float] = {}
+        self._energy: dict[tuple, float] = {}
+        self._transfer: dict[tuple, float] = {}
+
+    def refresh(self) -> None:
+        """Drop every memoized term if the infrastructure changed."""
+        generation = self.infrastructure.generation
+        if generation != self._generation:
+            self._duration.clear()
+            self._energy.clear()
+            self._transfer.clear()
+            self._generation = generation
+
+    @staticmethod
+    def _task_key(device: Device, task: Task) -> tuple:
+        return (device.name, device.operating_point.name, task.megaops,
+                task.input_bytes, task.output_bytes, task.kernel)
+
+    def duration(self, device: Device, task: Task) -> float:  # perf: hot
+        key = self._task_key(device, task)
+        value = self._duration.get(key)
+        if value is None:
+            value = device.estimate_duration(task)
+            self._duration[key] = value
+        return value
+
+    def energy(self, device: Device, task: Task) -> float:  # perf: hot
+        key = self._task_key(device, task)
+        value = self._energy.get(key)
+        if value is None:
+            value = device.estimate_energy(task)
+            self._energy[key] = value
+        return value
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:  # perf: hot
+        key = (src, dst, nbytes)
+        value = self._transfer.get(key)
+        if value is None:
+            value = self.infrastructure.network.estimate_transfer_time(
+                src, dst, nbytes)
+            self._transfer[key] = value
+        return value
+
+
+def estimate_placement_kpis(application: Application,  # perf: hot
                             placement: Placement,
                             infrastructure: Infrastructure,
-                            source_device: str | None = None
+                            source_device: str | None = None,
+                            cache: PlacementCostCache | None = None
                             ) -> tuple[float, float]:
     """Analytic (latency, energy) estimate of a placement.
 
@@ -95,37 +161,57 @@ def estimate_placement_kpis(application: Application,
     strategies optimize against before committing. When *source_device*
     is given, root tasks pay for moving their input data from it (input
     data originates somewhere concrete — usually an edge sensor).
+
+    Passing a :class:`PlacementCostCache` makes the per-term costs
+    memoized lookups; the result is bit-identical to the uncached path.
     """
-    # Seed each device's availability with its current backlog so the
-    # estimate is load-aware (interference on a device is visible).
-    device_free: dict[str, float] = {
-        name: dev.backlog_seconds()
-        for name, dev in infrastructure.devices.items()
-    }
+    if cache is not None:
+        cache.refresh()
+        duration_of = cache.duration
+        energy_of = cache.energy
+        transfer_of = cache.transfer
+    else:
+        duration_of = Device.estimate_duration
+        energy_of = Device.estimate_energy
+        transfer_of = infrastructure.network.estimate_transfer_time
+    devices = infrastructure.devices
+    # Device availability is seeded lazily with the current backlog so
+    # the estimate is load-aware (interference on a device is visible);
+    # only devices the placement actually touches are consulted.
+    device_free: dict[str, float] = {}
     finish: dict[str, float] = {}
     energy = 0.0
+    makespan = 0.0
+    assignment = placement.assignment
     for task in application.tasks:
-        device = infrastructure.device(placement.device_of(task.name))
+        name = task.name
+        device = devices[assignment[name]]
+        device_name = device.name
         ready = 0.0
-        preds = application.predecessors(task.name)
+        preds = application.predecessors(name)
         if not preds and source_device is not None \
-                and source_device != device.name:
-            ready = infrastructure.network.estimate_transfer_time(
-                source_device, device.name, task.input_bytes)
+                and source_device != device_name:
+            ready = transfer_of(source_device, device_name,
+                                task.input_bytes)
         for pred in preds:
             arrival = finish[pred]
-            pred_device = placement.device_of(pred)
-            if pred_device != device.name:
-                arrival += infrastructure.network.estimate_transfer_time(
-                    pred_device, device.name,
-                    application.edge_bytes(pred, task.name))
-            ready = max(ready, arrival)
-        start = max(ready, device_free.get(device.name, 0.0))
-        duration = device.estimate_duration(task)
-        finish[task.name] = start + duration
-        device_free[device.name] = finish[task.name]
-        energy += device.estimate_energy(task)
-    return max(finish.values(), default=0.0), energy
+            pred_device = assignment[pred]
+            if pred_device != device_name:
+                arrival += transfer_of(pred_device, device_name,
+                                       application.edge_bytes(pred, name))
+            if arrival > ready:
+                ready = arrival
+        free = device_free.get(device_name)
+        if free is None:
+            free = device.backlog_seconds()
+        start = ready if ready > free else free
+        end = start + duration_of(device, task)
+        finish[name] = end
+        device_free[device_name] = end
+        if end > makespan:
+            makespan = end
+        energy += energy_of(device, task)
+    return makespan, energy
 
 
 class PlacementStrategy:
@@ -240,6 +326,7 @@ class _CognitiveBase(PlacementStrategy):
         self.rng = rng
         self.energy_weight = energy_weight
         self.iterations = iterations
+        self._cost_cache: PlacementCostCache | None = None
 
     def _objective(self, application, infrastructure, tasks, options,
                    choices: list[int],
@@ -254,6 +341,49 @@ class _CognitiveBase(PlacementStrategy):
         return latency * (1 - self.energy_weight) \
             + self.energy_weight * energy / 100.0
 
+    def _cache_for(self, infrastructure) -> PlacementCostCache:
+        """Cost cache bound to *infrastructure*, reused across place()."""
+        cache = self._cost_cache
+        if cache is None or cache.infrastructure is not infrastructure:
+            cache = PlacementCostCache(infrastructure)
+            self._cost_cache = cache
+        return cache
+
+    def _compiled_objective(self, application, infrastructure, tasks,
+                            options, source_device: str | None = None):
+        """Build a memoized choices->score callable for one place() run.
+
+        Two cache levels: per-term costs via :class:`PlacementCostCache`
+        (valid across place() calls, generation-invalidated), and a
+        per-call memo keyed on the discrete choice tuple — the relaxed
+        continuous encodings (PSO/firefly) decode many nearby positions
+        to the same assignment, so full re-evaluations collapse. Both
+        layers return exactly what :meth:`_objective` would.
+        """
+        cache = self._cache_for(infrastructure)
+        names = [task.name for task in tasks]
+        strategy = self.name
+        energy_weight = self.energy_weight
+        latency_weight = 1 - energy_weight
+        memo: dict[tuple[int, ...], float] = {}
+
+        def objective(choices) -> float:  # perf: hot
+            key = tuple(choices)
+            score = memo.get(key)
+            if score is None:
+                assignment = {}
+                for i, choice in enumerate(key):
+                    assignment[names[i]] = options[i][choice].name
+                latency, energy = estimate_placement_kpis(
+                    application, Placement(assignment, strategy),
+                    infrastructure, source_device, cache)
+                score = latency * latency_weight \
+                    + energy_weight * energy / 100.0
+                memo[key] = score
+            return score
+
+        return objective
+
 
 class PsoPlacement(_CognitiveBase):
     """PSO over a relaxed assignment: one score per (task, device)."""
@@ -267,20 +397,24 @@ class PsoPlacement(_CognitiveBase):
         dims = sum(len(opts) for opts in options)
 
         def decode(position: list[float]) -> list[int]:
+            # index(max(...)) picks the first maximum, exactly like the
+            # argmax over range() it replaces — just without a lambda
+            # call per element.
             choices = []
             offset = 0
             for opts in options:
-                scores = position[offset:offset + len(opts)]
-                choices.append(max(range(len(opts)),
-                                   key=lambda i: scores[i]))
-                offset += len(opts)
+                end = offset + len(opts)
+                scores = position[offset:end]
+                choices.append(scores.index(max(scores)))
+                offset = end
             return choices
 
+        objective = self._compiled_objective(
+            application, infrastructure, tasks, options,
+            constraints.source_device)
         pso = ParticleSwarmOptimizer(dims, self.rng, particles=16)
         best_position, _ = pso.minimize(
-            lambda pos: self._objective(application, infrastructure,
-                                        tasks, options, decode(pos),
-                                        constraints.source_device),
+            lambda pos: objective(decode(pos)),
             iterations=self.iterations)
         choices = decode(best_position)
         assignment = {
@@ -302,20 +436,24 @@ class FireflyPlacement(_CognitiveBase):
         dims = sum(len(opts) for opts in options)
 
         def decode(position: list[float]) -> list[int]:
+            # index(max(...)) picks the first maximum, exactly like the
+            # argmax over range() it replaces — just without a lambda
+            # call per element.
             choices = []
             offset = 0
             for opts in options:
-                scores = position[offset:offset + len(opts)]
-                choices.append(max(range(len(opts)),
-                                   key=lambda i: scores[i]))
-                offset += len(opts)
+                end = offset + len(opts)
+                scores = position[offset:end]
+                choices.append(scores.index(max(scores)))
+                offset = end
             return choices
 
+        objective = self._compiled_objective(
+            application, infrastructure, tasks, options,
+            constraints.source_device)
         optimizer = FireflyOptimizer(dims, self.rng, fireflies=12)
         best_position, _ = optimizer.minimize(
-            lambda pos: self._objective(application, infrastructure,
-                                        tasks, options, decode(pos),
-                                        constraints.source_device),
+            lambda pos: objective(decode(pos)),
             iterations=self.iterations)
         choices = decode(best_position)
         assignment = {
@@ -336,12 +474,14 @@ class AcoPlacement(_CognitiveBase):
                    for t in tasks]
         max_options = max(len(opts) for opts in options)
 
+        compiled = self._compiled_objective(
+            application, infrastructure, tasks, options,
+            constraints.source_device)
+
         def objective(choices: list[int]) -> float:
             clamped = [min(c, len(options[i]) - 1)
                        for i, c in enumerate(choices)]
-            return self._objective(application, infrastructure, tasks,
-                                   options, clamped,
-                                   constraints.source_device)
+            return compiled(clamped)
 
         aco = AntColonyOptimizer(len(tasks), max_options, self.rng,
                                  ants=12)

@@ -79,25 +79,32 @@ class ParticleSwarmOptimizer:
                          key=lambda i: personal_value[i])
         global_best = list(personal_best[best_index])
         global_value = personal_value[best_index]
+        # Local bindings keep attribute lookups out of the O(particles x
+        # dimensions) update loop; arithmetic and RNG draw order are
+        # exactly the canonical formulation's, so runs stay bit-stable.
+        rand = self.rng.random
+        inertia, cognitive, social = \
+            self.inertia, self.cognitive, self.social
+        dims = range(self.dimensions)
         for _ in range(iterations):
             for i in range(self.num_particles):
-                for d in range(self.dimensions):
-                    r1, r2 = self.rng.random(), self.rng.random()
-                    velocities[i][d] = (
-                        self.inertia * velocities[i][d]
-                        + self.cognitive * r1
-                        * (personal_best[i][d] - positions[i][d])
-                        + self.social * r2
-                        * (global_best[d] - positions[i][d]))
-                    positions[i][d] = min(hi, max(
-                        lo, positions[i][d] + velocities[i][d]))
-                value = objective(positions[i])
+                velocity = velocities[i]
+                position = positions[i]
+                pbest = personal_best[i]
+                for d in dims:
+                    r1, r2 = rand(), rand()
+                    v = (inertia * velocity[d]
+                         + cognitive * r1 * (pbest[d] - position[d])
+                         + social * r2 * (global_best[d] - position[d]))
+                    velocity[d] = v
+                    position[d] = min(hi, max(lo, position[d] + v))
+                value = objective(position)
                 if value < personal_value[i]:
                     personal_value[i] = value
-                    personal_best[i] = list(positions[i])
+                    personal_best[i] = list(position)
                     if value < global_value:
                         global_value = value
-                        global_best = list(positions[i])
+                        global_best = list(position)
             self.trace.best_per_iteration.append(global_value)
         return global_best, global_value
 
@@ -194,13 +201,18 @@ class AntColonyOptimizer:
         self.trace = OptimizationTrace()
 
     def _pick(self, decision: int) -> int:
-        weights = []
-        for option in range(self.n_options):
-            weight = self.pheromone[decision][option] ** self.alpha
-            if self.heuristic is not None and self.beta > 0:
-                weight *= max(self.heuristic[decision][option],
-                              1e-12) ** self.beta
-            weights.append(weight)
+        row = self.pheromone[decision]
+        alpha = self.alpha
+        if self.heuristic is not None and self.beta > 0:
+            heuristic = self.heuristic[decision]
+            beta = self.beta
+            weights = [row[option] ** alpha
+                       * max(heuristic[option], 1e-12) ** beta
+                       for option in range(self.n_options)]
+        elif alpha == 1.0:
+            weights = row  # x ** 1.0 == x: pheromones are the weights
+        else:
+            weights = [w ** alpha for w in row]
         total = sum(weights)
         threshold = self.rng.random() * total
         cumulative = 0.0

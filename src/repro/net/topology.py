@@ -69,6 +69,17 @@ class Network:
         self.graph = nx.Graph()
         self._links: dict[tuple[str, str], Link] = {}
         self.transfers: list[TransferResult] = []
+        #: Monotone counter of topology changes; cost caches key on it.
+        self._generation = 0
+        # Shortest paths are stable between topology changes; caching
+        # them keeps nx.shortest_path out of the transfer hot path.
+        self._path_cache: dict[tuple[str, str], list[Link]] = {}
+        self._route_cache: dict[tuple[str, str], tuple[float, float]] = {}
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every link addition (path caches invalidate on it)."""
+        return self._generation
 
     # -- construction ------------------------------------------------------------
 
@@ -87,6 +98,9 @@ class Network:
         link = Link(a, b, latency_s, bandwidth_bps)
         self._links[link.key()] = link
         self.graph.add_edge(a, b, latency=latency_s)
+        self._generation += 1
+        self._path_cache.clear()
+        self._route_cache.clear()
         return link
 
     def link(self, a: str, b: str) -> Link:
@@ -114,23 +128,36 @@ class Network:
             raise NotFoundError(f"no path from {src!r} to {dst!r}") from exc
 
     def path_links(self, src: str, dst: str) -> list[Link]:
-        """Links along the lowest-latency path."""
-        hosts = self.path(src, dst)
-        return [self.link(a, b) for a, b in zip(hosts, hosts[1:])]
+        """Links along the lowest-latency path (cached per topology)."""
+        key = (src, dst)
+        links = self._path_cache.get(key)
+        if links is None:
+            hosts = self.path(src, dst)
+            links = [self.link(a, b) for a, b in zip(hosts, hosts[1:])]
+            self._path_cache[key] = links
+        return links
 
     def path_latency(self, src: str, dst: str) -> float:
         """Sum of propagation latencies along the path."""
         return sum(link.latency_s for link in self.path_links(src, dst))
 
-    def estimate_transfer_time(self, src: str, dst: str,
+    def estimate_transfer_time(self, src: str, dst: str,  # perf: hot
                                nbytes: int) -> float:
         """Predicted uncontended transfer time for *nbytes*."""
         if src == dst:
             return 0.0
-        links = self.path_links(src, dst)
-        latency = sum(link.latency_s for link in links)
-        bottleneck = min(link.bandwidth_bps for link in links)
-        return latency + nbytes * 8 / bottleneck
+        route = self._route_cache.get((src, dst))
+        if route is None:
+            links = self.path_links(src, dst)
+            latency = 0.0
+            bottleneck = links[0].bandwidth_bps
+            for link in links:
+                latency += link.latency_s
+                if link.bandwidth_bps < bottleneck:
+                    bottleneck = link.bandwidth_bps
+            route = (latency, bottleneck)
+            self._route_cache[(src, dst)] = route
+        return route[0] + nbytes * 8 / route[1]
 
     # -- simulated transfer ----------------------------------------------------------------
 

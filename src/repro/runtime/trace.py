@@ -23,14 +23,42 @@ from repro.core.errors import ConfigurationError
 from repro.core.events import topic_matches
 
 
-def jsonify(value: Any) -> Any:
+# Exact types the fast path passes through untouched. Subclasses (bool
+# aside — it IS one of these) deliberately miss: an IntEnum or numpy
+# scalar must take the slow path so its normalization stays identical
+# to the pre-fast-path behavior.
+_PRIMITIVES = (str, int, float, bool)
+
+
+def jsonify(value: Any) -> Any:  # perf: hot
     """Reduce *value* to deterministic JSON-serializable primitives.
 
     Dataclasses become field dicts, enums their values, sets sorted
     lists. Objects with no stable representation collapse to a type
     marker rather than a ``repr`` (which may embed memory addresses and
     would break byte-identical trace exports).
+
+    The overwhelming majority of trace payloads are None, a primitive,
+    or a flat dict of primitives; those shapes are handled inline here
+    without recursing.
     """
+    if value is None or type(value) in _PRIMITIVES:
+        return value
+    if type(value) is dict:
+        out = {}
+        for k, v in value.items():
+            if type(k) is not str:
+                k = str(k)
+            if v is None or type(v) in _PRIMITIVES:
+                out[k] = v
+            else:
+                out[k] = _jsonify_slow(v)
+        return out
+    return _jsonify_slow(value)
+
+
+def _jsonify_slow(value: Any) -> Any:
+    """Full structural normalization (the original jsonify semantics)."""
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -50,9 +78,16 @@ def jsonify(value: Any) -> Any:
     return f"<{type(value).__name__}>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One time-stamped, topic-tagged observation."""
+    """One time-stamped, topic-tagged observation.
+
+    The payload is normalized (:func:`jsonify`) when the record is
+    created — deferring that would let callers mutate a recorded dict
+    after the fact and break byte-identical replay — but serialization
+    to JSON text stays lazy: :meth:`to_json` renders on demand, so
+    recording costs no string formatting unless the trace is exported.
+    """
 
     seq: int
     time_s: float
@@ -76,11 +111,20 @@ class TraceRecorder:
         self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._seq = 0
 
-    def record(self, time_s: float, topic: str,
+    def record(self, time_s: float, topic: str,  # perf: hot
                payload: Any = None) -> TraceRecord:
-        """Append one record; payload is normalized via :func:`jsonify`."""
-        rec = TraceRecord(seq=self._seq, time_s=float(time_s), topic=topic,
-                          payload=jsonify(payload))
+        """Append one record; payload is normalized via :func:`jsonify`.
+
+        The sequence number grows without bound and never wraps: Python
+        integers are arbitrary-precision, so ``seq`` stays strictly
+        increasing for the life of the recorder even after the ring has
+        evicted billions of records. Consumers may rely on ``seq`` as a
+        total order over everything ever recorded; use
+        :attr:`dropped_count` to detect that the *retained* window no
+        longer starts at seq 0.
+        """
+        rec = TraceRecord(self._seq, float(time_s), topic,
+                          jsonify(payload))
         self._seq += 1
         self._records.append(rec)
         return rec
@@ -93,6 +137,16 @@ class TraceRecorder:
     @property
     def dropped(self) -> int:
         """Records evicted by the ring bound."""
+        return self._seq - len(self._records)
+
+    @property
+    def dropped_count(self) -> int:
+        """Ring-buffer evictions so far (alias of :attr:`dropped`).
+
+        ``total_recorded - len(recorder)``: how many records fell off
+        the front of the bounded ring. When this is non-zero the
+        retained trace starts at ``seq == dropped_count``, not 0.
+        """
         return self._seq - len(self._records)
 
     def records(self, topic_pattern: str | None = None,

@@ -280,6 +280,63 @@ class TestRuntimeConstructionRule:
         assert findings == []
 
 
+class TestHotPathAllocationRule:
+    def test_comprehension_in_hot_function_flagged(self):
+        findings = lint("""
+            def dispatch(self, subs):  # perf: hot
+                return [s for s in subs if s.active]
+        """)
+        assert rules_of(findings) == ["hot-path-allocation"]
+
+    def test_list_copy_in_hot_function_flagged(self):
+        findings = lint("""
+            def publish(self, subs):  # perf: hot
+                for sub in list(subs):
+                    sub()
+        """)
+        assert rules_of(findings) == ["hot-path-allocation"]
+
+    def test_dict_comprehension_flagged(self):
+        findings = lint("""
+            def index(self, subs):  # perf: hot
+                return {s.name: s for s in subs}
+        """)
+        assert rules_of(findings) == ["hot-path-allocation"]
+
+    def test_unmarked_function_not_flagged(self):
+        findings = lint("""
+            def dispatch(self, subs):
+                return [s for s in subs if s.active]
+        """)
+        assert findings == []
+
+    def test_empty_list_call_ok(self):
+        findings = lint("""
+            def publish(self):  # perf: hot
+                out = list()
+                out.append(1)
+                return out
+        """)
+        assert findings == []
+
+    def test_nested_function_not_charged_to_hot_parent(self):
+        findings = lint("""
+            def compile(self, options):  # perf: hot
+                def cold(xs):
+                    return [x for x in xs]
+                return cold
+        """)
+        assert findings == []
+
+    def test_pragma_on_later_signature_line(self):
+        findings = lint("""
+            def estimate(self, application,
+                         infrastructure):  # perf: hot
+                return [t for t in application]
+        """)
+        assert rules_of(findings) == ["hot-path-allocation"]
+
+
 class TestPragmas:
     SOURCE = """
         import random
@@ -380,7 +437,8 @@ class TestEngine:
     def test_all_expected_rules_registered(self):
         assert {"global-random", "wall-clock", "mutable-default",
                 "overbroad-except", "seed-entropy",
-                "runtime-construction"} <= set(all_rules())
+                "runtime-construction",
+                "hot-path-allocation"} <= set(all_rules())
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint("def broken(:\n")

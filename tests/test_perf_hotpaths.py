@@ -1,0 +1,206 @@
+"""Tests pinning the hot-path optimizations' semantics.
+
+The perf pass (benchmarks/perf) rewired event-bus dispatch, the DES
+kernel, trace serialization and placement-KPI estimation for speed.
+These tests pin the contract that made those rewrites safe: compiled
+topic matching is extensionally equal to the reference segment matcher,
+dispatch caches invalidate on every (un)subscribe, cost caches
+invalidate on every infrastructure generation bump, and the memoized
+objective scores exactly like the direct one.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuum import Simulator, Task, TaskRequirements, \
+    build_reference_infrastructure
+from repro.continuum.faults import FaultInjector
+from repro.continuum.workload import Application, KernelClass
+from repro.core.events import EventBus, _segments_match, topic_matches
+from repro.mirto.placement import (
+    Placement,
+    PlacementConstraints,
+    PlacementCostCache,
+    PsoPlacement,
+    estimate_placement_kpis,
+)
+from repro.runtime.trace import TraceRecorder
+
+# -- compiled topic matching == reference matcher ---------------------------
+
+_PATTERN_SEGMENTS = st.sampled_from(["a", "b", "c", "ab", "*", "**"])
+_TOPIC_SEGMENTS = st.sampled_from(["a", "b", "c", "ab", "d"])
+_patterns = st.lists(_PATTERN_SEGMENTS, min_size=1, max_size=6) \
+    .map(".".join)
+_topics = st.lists(_TOPIC_SEGMENTS, min_size=1, max_size=6).map(".".join)
+
+
+class TestCompiledMatching:
+    @settings(max_examples=500, deadline=None)
+    @given(pattern=_patterns, topic=_topics)
+    def test_compiled_equals_reference(self, pattern, topic):
+        """topic_matches (compiled) ≡ _segments_match (reference)."""
+        expected = _segments_match(pattern.split("."), topic.split("."))
+        assert topic_matches(pattern, topic) == expected
+
+    def test_mid_doublestar_specializations(self):
+        # One case per compiled tier: exact, trailing **, *-only, NFA.
+        assert topic_matches("a.b.c", "a.b.c")
+        assert not topic_matches("a.b.c", "a.b")
+        assert topic_matches("a.**", "a.x.y.z")
+        assert topic_matches("a.**", "a")
+        assert not topic_matches("a.**", "b.x")
+        assert topic_matches("a.*.c", "a.b.c")
+        assert not topic_matches("a.*.c", "a.b.x.c")
+        assert topic_matches("a.**.c", "a.c")
+        assert topic_matches("a.**.c", "a.x.y.c")
+        assert not topic_matches("a.**.c", "a.x.y")
+        assert topic_matches("**.b.**", "a.b.c")
+
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=_patterns, topic=_topics)
+    def test_bus_delivery_equals_reference(self, pattern, topic):
+        """End-to-end: a subscription delivers iff the reference matches."""
+        bus = EventBus()
+        hits = []
+        bus.subscribe(pattern, lambda t, p: hits.append(t))
+        bus.publish(topic)
+        expected = _segments_match(pattern.split("."), topic.split("."))
+        assert bool(hits) == expected
+
+
+class TestDispatchCacheInvalidation:
+    def test_unsubscribe_invalidates_cached_dispatch(self):
+        """Regression: a cached dispatch list must drop unsubscribed subs."""
+        bus = EventBus()
+        calls = []
+        bus.subscribe("a.b", lambda t, p: calls.append("exact"))
+        wild = bus.subscribe("a.*", lambda t, p: calls.append("wild"))
+        bus.publish("a.b")  # populates the topic's dispatch cache
+        assert sorted(calls) == ["exact", "wild"]
+        bus.unsubscribe(wild)
+        calls.clear()
+        bus.publish("a.b")
+        assert calls == ["exact"]
+
+    def test_subscribe_invalidates_cached_dispatch(self):
+        bus = EventBus()
+        calls = []
+        bus.subscribe("a.b", lambda t, p: calls.append("first"))
+        bus.publish("a.b")
+        bus.subscribe("a.**", lambda t, p: calls.append("late"))
+        calls.clear()
+        bus.publish("a.b")
+        assert calls == ["first", "late"]
+
+    def test_compaction_preserves_delivery_order(self):
+        bus = EventBus()
+        calls = []
+        subs = [bus.subscribe("t", lambda t, p, i=i: calls.append(i))
+                for i in range(8)]
+        for sub in subs[:5]:  # force tombstone compaction
+            bus.unsubscribe(sub)
+        bus.publish("t")
+        assert calls == [5, 6, 7]
+
+
+# -- placement cost cache ---------------------------------------------------
+
+def _app():
+    app = Application("hot")
+    reqs = TaskRequirements(latency_budget_s=10.0)
+    app.add_task(Task("ingest", 200, input_bytes=100_000,
+                      requirements=reqs))
+    app.add_task(Task("process", 5000, kernel=KernelClass.DSP,
+                      requirements=reqs))
+    app.add_task(Task("report", 100, requirements=reqs))
+    app.connect("ingest", "process", 100_000)
+    app.connect("process", "report", 5_000)
+    return app
+
+
+class TestPlacementCostCache:
+    def test_cached_kpis_equal_uncached(self):
+        infra = build_reference_infrastructure(Simulator())
+        app = _app()
+        cache = PlacementCostCache(infra)
+        rng = random.Random(3)
+        names = list(infra.devices)
+        for _ in range(20):
+            assignment = {t.name: rng.choice(names) for t in app.tasks}
+            placement = Placement(assignment, "test")
+            plain = estimate_placement_kpis(app, placement, infra,
+                                            source_device="mc-00-0")
+            cached = estimate_placement_kpis(app, placement, infra,
+                                             source_device="mc-00-0",
+                                             cache=cache)
+            assert cached == plain
+
+    def test_generation_bumps_on_topology_and_faults(self):
+        infra = build_reference_infrastructure(Simulator())
+        g0 = infra.generation
+        infra.network.add_link("mc-00-0", "cloud-00",
+                               latency_s=0.5, bandwidth_bps=1e6)
+        assert infra.generation > g0
+        g1 = infra.generation
+        injector = FaultInjector(infra)
+        injector.inject_now("mc-00-0")
+        assert infra.generation > g1
+        g2 = infra.generation
+        injector.repair_now("mc-00-0")
+        assert infra.generation > g2
+
+    def test_cache_refreshes_after_topology_change(self):
+        infra = build_reference_infrastructure(Simulator())
+        cache = PlacementCostCache(infra)
+        stale = cache.transfer("mc-00-0", "cloud-01", 10_000)
+        # A direct fat link changes the best route; the cache must see it.
+        infra.network.add_link("mc-00-0", "cloud-01",
+                               latency_s=1e-6, bandwidth_bps=1e12)
+        cache.refresh()
+        fresh = cache.transfer("mc-00-0", "cloud-01", 10_000)
+        assert fresh == infra.network.estimate_transfer_time(
+            "mc-00-0", "cloud-01", 10_000)
+        assert fresh < stale
+
+    def test_compiled_objective_equals_direct(self):
+        infra = build_reference_infrastructure(Simulator())
+        app = _app()
+        constraints = PlacementConstraints(source_device="mc-00-0")
+        strategy = PsoPlacement(random.Random(5))
+        tasks = app.tasks
+        options = [strategy._eligible_or_raise(t, infra, constraints)
+                   for t in tasks]
+        compiled = strategy._compiled_objective(
+            app, infra, tasks, options, constraints.source_device)
+        rng = random.Random(11)
+        for _ in range(25):
+            choices = [rng.randrange(len(opts)) for opts in options]
+            direct = strategy._objective(app, infra, tasks, options,
+                                         choices, constraints.source_device)
+            assert compiled(choices) == direct
+            assert compiled(choices) == direct  # memo hit, same value
+
+    def test_same_seed_same_placement(self):
+        results = []
+        for _ in range(2):
+            infra = build_reference_infrastructure(Simulator())
+            placement = PsoPlacement(random.Random(7), iterations=5).place(
+                _app(), infra, PlacementConstraints(source_device="mc-00-0"))
+            results.append(placement.assignment)
+        assert results[0] == results[1]
+
+
+class TestTraceRecorderDropCount:
+    def test_dropped_count_tracks_evictions(self):
+        recorder = TraceRecorder(capacity=4)
+        for i in range(10):
+            recorder.record(float(i), "t", {"i": i})
+        assert len(recorder) == 4
+        assert recorder.total_recorded == 10
+        assert recorder.dropped_count == 6
+        assert recorder.dropped_count == recorder.dropped
+        # seq keeps climbing monotonically across evictions
+        assert [r.seq for r in recorder] == [6, 7, 8, 9]
