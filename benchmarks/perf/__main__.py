@@ -45,6 +45,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=3.0,
                         help="allowed slowdown factor in --check mode "
                              "(default 3.0)")
+    parser.add_argument("--max-span-overhead", type=float, default=1.3,
+                        help="allowed obs.span.publish enabled/disabled "
+                             "ratio in --check mode (default 1.3)")
     parser.add_argument("--only", action="append", default=None,
                         help="run only the named scenario (repeatable)")
     args = parser.parse_args(argv)
@@ -79,6 +82,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline {baseline_path} missing; cannot --check",
               file=sys.stderr)
         return 2
+
+    # Span-overhead gate: the enabled/disabled pair is measured in the
+    # same run (no committed baseline needed), so observability cannot
+    # silently eat the dispatch-path wins.
+    enabled = results.get("obs.span.publish.enabled")
+    disabled = results.get("obs.span.publish.disabled")
+    if enabled is not None and disabled is not None \
+            and disabled.ns_per_op > 0:
+        ratio = enabled.ns_per_op / disabled.ns_per_op
+        print(f"\nspan overhead: {ratio:.2f}x "
+              f"(enabled {enabled.ns_per_op:,.0f} ns/op vs "
+              f"disabled {disabled.ns_per_op:,.0f} ns/op, "
+              f"limit {args.max_span_overhead:g}x)")
+        if args.check and ratio > args.max_span_overhead:
+            print(f"\nSPAN OVERHEAD: {ratio:.2f}x exceeds "
+                  f"{args.max_span_overhead:g}x", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -137,6 +137,44 @@ def _trace_export(quick: bool):
     return n_records, run
 
 
+# -- observability span overhead --------------------------------------------
+
+def _span_publish_scenario(enabled: bool, n_ops: int):
+    """Traced-bus publish with the causal tracer on vs off.
+
+    The pair shares one construction path so the only difference is the
+    span machinery: ``enabled`` publishes inside an active span (every
+    record carries an envelope), ``disabled`` publishes with the tracer
+    off. The --check gate holds enabled/disabled at <= 1.3x.
+    """
+    ctx = RuntimeContext(seed=11)
+    topics = [f"bench.obs.t{j % _TOPIC_CYCLE:04d}"
+              for j in range(_TOPIC_CYCLE)]
+    if not enabled:
+        ctx.tracer.disable()
+
+    def run():
+        publish = ctx.bus.publish
+        if enabled:
+            with ctx.tracer.start_span("bench.obs.batch", layer="bench"):
+                for j in range(n_ops):
+                    publish(topics[j % _TOPIC_CYCLE], j)
+        else:
+            for j in range(n_ops):
+                publish(topics[j % _TOPIC_CYCLE], j)
+    return n_ops, run
+
+
+@scenario("obs.span.publish.enabled")
+def _span_publish_enabled(quick: bool):
+    return _span_publish_scenario(True, 2_000 if quick else 20_000)
+
+
+@scenario("obs.span.publish.disabled")
+def _span_publish_disabled(quick: bool):
+    return _span_publish_scenario(False, 2_000 if quick else 20_000)
+
+
 # -- MAPE loop --------------------------------------------------------------
 
 @scenario("mape.tick")

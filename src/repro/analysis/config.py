@@ -37,6 +37,10 @@ class AnalysisConfig:
     # other code must be injected with a RuntimeContext.
     runtime_allowlist: list[str] = field(
         default_factory=lambda: ["runtime/", "tests/"])
+    # Files allowed to print() (rendering CLIs). Telemetry everywhere
+    # else must flow through repro.obs (spans/metrics/trace).
+    print_allowlist: list[str] = field(
+        default_factory=lambda: ["analysis/cli.py", "obs/cli.py"])
     baseline: str = "analysis-baseline.json"
 
     def is_excluded(self, rel_path: str) -> bool:
@@ -58,6 +62,21 @@ class AnalysisConfig:
         rel = rel_path.replace("\\", "/")
         return any(f"/{entry.strip('/')}/" in f"/{rel}"
                    for entry in self.runtime_allowlist)
+
+    def is_print_allowed(self, rel_path: str) -> bool:
+        """May this file emit telemetry via print()?
+
+        Entries ending in ``/`` match directories; anything else
+        matches as a path suffix (same semantics as the rng allowlist).
+        """
+        rel = rel_path.replace("\\", "/")
+        for entry in self.print_allowlist:
+            if entry.endswith("/"):
+                if f"/{entry.strip('/')}/" in f"/{rel}":
+                    return True
+            elif rel.endswith(entry):
+                return True
+        return False
 
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
@@ -88,7 +107,8 @@ def load_config(root: str | Path | None = None) -> AnalysisConfig:
                       ("disable", "disable"),
                       ("simulation-packages", "simulation_packages"),
                       ("rng-allowlist", "rng_allowlist"),
-                      ("runtime-allowlist", "runtime_allowlist")):
+                      ("runtime-allowlist", "runtime_allowlist"),
+                      ("print-allowlist", "print_allowlist")):
         value = table.get(key)
         if isinstance(value, list):
             setattr(config, attr, [str(v) for v in value])

@@ -273,6 +273,34 @@ class HotPathAllocationRule(Rule):
 
 
 @register_rule
+class PrintTelemetryRule(Rule):
+    """Telemetry goes through ``repro.obs``, never ad-hoc ``print()``.
+
+    A ``print()`` in library code is telemetry that bypasses the trace,
+    the metrics registry, and the span tree: it cannot be replayed,
+    exported, or asserted on, and it interleaves nondeterministically
+    with real output. Only the rendering CLIs (the print-allowlist) may
+    write to stdout; everything else records spans/metrics or publishes
+    on the bus.
+    """
+
+    rule_id = "print-telemetry"
+    description = ("ad-hoc print() telemetry outside a rendering CLI "
+                   "(use repro.obs spans/metrics or the trace)")
+    severity = Severity.ERROR
+    node_types = (ast.Call,)
+
+    def on_node(self, node: ast.Call, ctx: LintContext) -> None:
+        if ctx.config.is_print_allowed(ctx.rel_path):
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(self, node,
+                       "print() telemetry bypasses the trace and the "
+                       "metrics registry; record a span/metric or "
+                       "publish on the bus instead")
+
+
+@register_rule
 class SeedEntropyRule(Rule):
     """Child seeds must come from ``derive_seed``, not RNG floats/hash().
 

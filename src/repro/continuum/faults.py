@@ -87,6 +87,10 @@ class FaultInjector:
         self.device_names = devices or list(infrastructure.devices)
         self.tracker = ReliabilityTracker()
         self._running = True
+        self._failures = self.ctx.metrics.counter(
+            "continuum.faults.failures", "device failures injected")
+        self._repairs = self.ctx.metrics.counter(
+            "continuum.faults.repairs", "device repairs applied")
 
     def start(self) -> None:
         """Arm the fail/repair process for every covered device."""
@@ -122,23 +126,36 @@ class FaultInjector:
 
     def _fail(self, device: Device) -> None:
         now = self.ctx.now
-        device.failed = True
-        self.infrastructure.bump_generation()
-        self.tracker.record(FaultEvent(device.name, "fail", now))
-        # Interrupt in-flight work: waiting requests and running tasks
-        # both lose their slot (the executing processes see Interrupt).
-        interrupted = 0
-        for request in list(device.cores.users):
-            interrupted += 1
-        self.tracker.tasks_interrupted += interrupted
-        self.ctx.publish("continuum.fault.fail", {
-            "device": device.name, "time_s": now,
-            "interrupted": interrupted})
+        # The inject span is the causal root of everything the fault
+        # touches: bus delivery is synchronous, so kube evictions,
+        # monitor samples and MAPE trigger capture all happen inside it
+        # and share its trace id.
+        with self.ctx.tracer.start_span(
+                "continuum.fault.inject", layer="continuum", root=True,
+                device=device.name):
+            device.failed = True
+            self.infrastructure.bump_generation()
+            self.tracker.record(FaultEvent(device.name, "fail", now))
+            # Interrupt in-flight work: waiting requests and running
+            # tasks both lose their slot (the executing processes see
+            # Interrupt).
+            interrupted = 0
+            for request in list(device.cores.users):
+                interrupted += 1
+            self.tracker.tasks_interrupted += interrupted
+            self._failures.inc()
+            self.ctx.publish("continuum.fault.fail", {
+                "device": device.name, "time_s": now,
+                "interrupted": interrupted})
 
     def _repair(self, device: Device) -> None:
         now = self.ctx.now
-        device.failed = False
-        self.infrastructure.bump_generation()
-        self.tracker.record(FaultEvent(device.name, "repair", now))
-        self.ctx.publish("continuum.fault.repair", {
-            "device": device.name, "time_s": now})
+        with self.ctx.tracer.start_span(
+                "continuum.fault.repair", layer="continuum", root=True,
+                device=device.name):
+            device.failed = False
+            self.infrastructure.bump_generation()
+            self.tracker.record(FaultEvent(device.name, "repair", now))
+            self._repairs.inc()
+            self.ctx.publish("continuum.fault.repair", {
+                "device": device.name, "time_s": now})

@@ -72,6 +72,14 @@ class GatewayHub:
         self.deliveries: list[DeliveryRecord] = []
         self.dropped = 0
         self._buffers: dict[str, deque[Message]] = {}
+        metrics = self.ctx.metrics
+        self._deliveries_ctr = metrics.counter(
+            "continuum.gateway.deliveries", "hub-mediated deliveries",
+            label_key="gateway")
+        self._dropped_ctr = metrics.counter(
+            "continuum.gateway.dropped",
+            "messages dropped at a full store-and-forward buffer",
+            label_key="gateway")
 
     # -- registration --------------------------------------------------------
 
@@ -147,9 +155,13 @@ class GatewayHub:
             buffer = self._buffers.setdefault(dst, deque())
             if len(buffer) >= self.buffer_limit:
                 self.dropped += 1
-                self.ctx.publish(
-                    f"continuum.gateway.{self.name}.dropped",
-                    {"dst": dst, "topic": topic})
+                self._dropped_ctr.inc(label=self.name)
+                with self.ctx.tracer.start_span(
+                        "continuum.gateway.drop", layer="continuum",
+                        gateway=self.name, dst=dst, topic=topic):
+                    self.ctx.publish(
+                        f"continuum.gateway.{self.name}.dropped",
+                        {"dst": dst, "topic": topic})
                 return None
             buffer.append(out)
             self.deliveries.append(DeliveryRecord(
@@ -171,16 +183,23 @@ class GatewayHub:
         yield self.sim.process(self.network.transfer(
             self.name, message.dst, len(message.encode()),
             wire_overhead=wire - len(message.encode())))
-        record = DeliveryRecord(
-            src=original_src, dst=message.dst, topic=message.topic,
-            ingress_protocol=ingress_name,
-            egress_protocol=egress.name,
-            payload_bytes=len(message.encode()),
-            wire_bytes=wire, buffered=buffered,
-            delivered_at_s=self.sim.now)
-        self.deliveries.append(record)
-        self.ctx.publish(f"continuum.gateway.{self.name}.delivered",
-                         record)
+        # Span covers only the synchronous completion (record + publish):
+        # the transfer above yields into the DES, where an ambient span
+        # would leak onto unrelated interleaved events.
+        with self.ctx.tracer.start_span(
+                "continuum.gateway.deliver", layer="continuum",
+                gateway=self.name, dst=message.dst, topic=message.topic):
+            record = DeliveryRecord(
+                src=original_src, dst=message.dst, topic=message.topic,
+                ingress_protocol=ingress_name,
+                egress_protocol=egress.name,
+                payload_bytes=len(message.encode()),
+                wire_bytes=wire, buffered=buffered,
+                delivered_at_s=self.sim.now)
+            self.deliveries.append(record)
+            self._deliveries_ctr.inc(label=self.name)
+            self.ctx.publish(f"continuum.gateway.{self.name}.delivered",
+                             record)
         return record
 
     def flush(self, dst: str):

@@ -280,13 +280,17 @@ class AnyOf(Event):
 class Simulator:
     """The event loop: a priority queue of (time, packed-key, event)."""
 
-    __slots__ = ("_now", "_queue", "_seq", "processed_events")
+    __slots__ = ("_now", "_queue", "_seq", "processed_events", "_profiler")
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self.processed_events = 0
+        # Opt-in profiling hook (repro.obs.profiler.DesProfiler). Dark
+        # by default: the drain loops pay one attribute check; the
+        # wall-clock source lives on the profiler, never here.
+        self._profiler: Any = None
 
     @property
     def now(self) -> float:
@@ -330,13 +334,19 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
+        prof = self._profiler
         when, _key, event = heappop(self._queue)
+        if prof is not None:
+            sim_dt = when - self._now
+            t0 = prof.clock()
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:
             for callback in callbacks:
                 callback(event)
+        if prof is not None:
+            prof.account(event, callbacks or (), sim_dt, prof.clock() - t0)
         self.processed_events += 1
         if event._ok is False and not event._defused:
             # An un-waited-for failure must not pass silently.
@@ -364,6 +374,11 @@ class Simulator:
         deadline = float("inf") if until is None else float(until)
         if deadline < self._now:
             raise SimulationError("run(until=...) lies in the past")
+        if self._profiler is not None:
+            self._drain_profiled(deadline)
+            if self._now < deadline < float("inf"):
+                self._now = deadline
+            return None
         # Inlined step() drain loop: one bound method call per event is
         # measurable at storm rates, and the queue/counter locals keep
         # attribute loads out of the loop body.
@@ -386,6 +401,35 @@ class Simulator:
         if self._now < deadline < float("inf"):
             self._now = deadline
         return None
+
+    def _drain_profiled(self, deadline: float) -> None:
+        """Mirror of run()'s drain loop with per-event profiler accounting.
+
+        Kept as a separate method so the unprofiled hot path above pays
+        only a single attribute check when no profiler is installed.
+        """
+        queue = self._queue
+        prof = self._profiler
+        clock = prof.clock
+        account = prof.account
+        processed = 0
+        try:
+            while queue and queue[0][0] <= deadline:
+                when, _key, event = heappop(queue)
+                sim_dt = when - self._now
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                t0 = clock()
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                account(event, callbacks or (), sim_dt, clock() - t0)
+                processed += 1
+                if event._ok is False and not event._defused:
+                    raise event._value
+        finally:
+            self.processed_events += processed
 
 
 class Resource:

@@ -22,6 +22,7 @@ from repro.core.errors import (
 )
 from repro.core.events import EventBus
 from repro.core.ids import IdGenerator
+from repro.obs import null_span
 from repro.runtime import RuntimeContext
 from repro.kube.objects import (
     Deployment,
@@ -73,6 +74,28 @@ class KubeCluster:
         self._ids = IdGenerator()
         # Hook LIQO uses to forward pods bound to virtual nodes.
         self.offload_hooks: list[Callable[[Pod, Node], None]] = []
+        if self.ctx is not None:
+            metrics = self.ctx.metrics
+            self._reconciles = metrics.counter(
+                "kube.cluster.reconciles", "control-loop passes",
+                label_key="cluster")
+            self._pods_scheduled = metrics.counter(
+                "kube.cluster.pods_scheduled", "pods bound to nodes",
+                label_key="cluster")
+            self._pod_evictions = metrics.counter(
+                "kube.cluster.evictions", "pods evicted",
+                label_key="cluster")
+        else:
+            self._reconciles = None
+            self._pods_scheduled = None
+            self._pod_evictions = None
+
+    def _span(self, name: str, **attrs):
+        """A kube-layer span, or a no-op when running bus-only."""
+        if self.ctx is None:
+            return null_span()
+        return self.ctx.tracer.start_span(
+            name, layer="kube", cluster=self.name, **attrs)
 
     # -- node lifecycle -----------------------------------------------------------
 
@@ -161,11 +184,14 @@ class KubeCluster:
         pod.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
 
     def _evict(self, pod: Pod, reason: str) -> None:
-        pod.phase = PodPhase.PENDING
-        pod.node_name = None
-        pod.restarts += 1
-        pod.record(f"evicted: {reason}")
-        self._emit("PodEvicted", pod.name, reason)
+        with self._span("kube.evict", pod=pod.spec.name, reason=reason):
+            pod.phase = PodPhase.PENDING
+            pod.node_name = None
+            pod.restarts += 1
+            pod.record(f"evicted: {reason}")
+            self._emit("PodEvicted", pod.name, reason)
+        if self._pod_evictions is not None:
+            self._pod_evictions.inc(label=self.name)
 
     # -- deployments -------------------------------------------------------------------
 
@@ -212,27 +238,38 @@ class KubeCluster:
 
     def reconcile(self) -> int:
         """One control-loop pass; returns the number of pods scheduled."""
-        self._reconcile_deployments()
-        scheduled = 0
-        for pod in list(self.pods.values()):
-            if pod.phase is not PodPhase.PENDING:
-                continue
-            node, result = self.scheduler.select(
-                pod.spec, list(self.nodes.values()), self.node_free)
-            if node is None:
-                pod.record(f"unschedulable: {result.rejections}")
-                self._emit("FailedScheduling", pod.name,
-                           "; ".join(f"{k}: {v}" for k, v
-                                     in sorted(result.rejections.items())))
-                continue
-            pod.node_name = node.name
-            pod.phase = PodPhase.SCHEDULED
-            pod.record(f"bound to {node.name}")
-            self._emit("Scheduled", pod.name, f"bound to {node.name}")
-            scheduled += 1
-            if node.virtual:
-                for hook in self.offload_hooks:
-                    hook(pod, node)
+        with self._span("kube.reconcile"):
+            self._reconcile_deployments()
+            scheduled = 0
+            for pod in list(self.pods.values()):
+                if pod.phase is not PodPhase.PENDING:
+                    continue
+                with self._span("kube.schedule", pod=pod.spec.name):
+                    node, result = self.scheduler.select(
+                        pod.spec, list(self.nodes.values()),
+                        self.node_free)
+                    if node is None:
+                        pod.record(f"unschedulable: {result.rejections}")
+                        self._emit(
+                            "FailedScheduling", pod.name,
+                            "; ".join(f"{k}: {v}" for k, v in
+                                      sorted(result.rejections.items())))
+                        continue
+                    with self._span("kube.bind", pod=pod.spec.name,
+                                    node=node.name):
+                        pod.node_name = node.name
+                        pod.phase = PodPhase.SCHEDULED
+                        pod.record(f"bound to {node.name}")
+                        self._emit("Scheduled", pod.name,
+                                   f"bound to {node.name}")
+                    scheduled += 1
+                    if node.virtual:
+                        for hook in self.offload_hooks:
+                            hook(pod, node)
+        if self._reconciles is not None:
+            self._reconciles.inc(label=self.name)
+            if scheduled:
+                self._pods_scheduled.inc(scheduled, label=self.name)
         return scheduled
 
     # -- introspection -------------------------------------------------------------------

@@ -288,7 +288,19 @@ class WorkloadManager:
 
     def deploy(self, service: ServiceTemplate,
                strategy: str | None = None) -> DeploymentOutcome:
-        """Place, configure and execute one service request."""
+        """Place, configure and execute one service request.
+
+        Runs inside a ``mirto.deploy`` span (with the placement solve
+        as a child span), so a deploy triggered in reaction to a fault
+        shows up in the fault's causal trace.
+        """
+        ctx = self.infrastructure.ctx
+        with ctx.tracer.start_span("mirto.deploy", layer="mirto",
+                                   service=service.name):
+            return self._deploy(service, strategy)
+
+    def _deploy(self, service: ServiceTemplate,
+                strategy: str | None) -> DeploymentOutcome:
         app = service_to_application(service)
         if len(app) == 0:
             raise OrchestrationError(
@@ -305,7 +317,11 @@ class WorkloadManager:
                     device.operating_point.name != "balanced":
                 device.set_operating_point("balanced")
         placer = make_strategy(strategy or self.default_strategy, self.rng)
-        placement = placer.place(app, self.infrastructure, constraints)
+        with self.infrastructure.ctx.tracer.start_span(
+                "mirto.placement.solve", layer="mirto",
+                strategy=strategy or self.default_strategy,
+                tasks=len(app)):
+            placement = placer.place(app, self.infrastructure, constraints)
         level = self.security.required_level(service)
         # Node Manager: configure the chosen devices. Each task gets a
         # share of the end-to-end budget proportional to its weight on

@@ -47,6 +47,10 @@ class LoopRecord:
     triggers: list[Trigger]
     actions: list[PlannedAction]
     executed: int
+    #: Causal span context of this cycle (None when tracing disabled).
+    #: A remediation scenario resumes it (``tracer.resume``) so the
+    #: repair/redeploy work lands in the same trace as the fault.
+    span_context: object | None = None
 
 
 class MapeLoop:
@@ -81,6 +85,17 @@ class MapeLoop:
         #: the shared bus, stamped with the canonical clock.
         self.fault_observations: list[tuple[float, str, str]] = []
         self._pending_faults: list[Trigger] = []
+        # Span context of the fault that armed the pending triggers:
+        # captured at delivery time (while the inject span is still
+        # ambient), consumed as the parent of the next MAPE cycle so
+        # the asynchronous reaction stays in the fault's trace.
+        self._pending_fault_parent = None
+        metrics = self.ctx.metrics
+        self._iterations = metrics.counter(
+            "mirto.mape.iterations", "MAPE cycles run")
+        self._tick_latency = metrics.histogram(
+            "mirto.mape.tick_latency_s",
+            "sim-time duration of one MAPE cycle")
         self.ctx.subscribe("continuum.fault.*", self._on_fault)
 
     def _on_fault(self, topic: str, payload) -> None:
@@ -91,6 +106,9 @@ class MapeLoop:
             self._pending_faults.append(Trigger(
                 "fault", device,
                 f"device failed at t={self.ctx.now:.6f}"))
+            parent = self.ctx.tracer.capture()
+            if parent is not None:
+                self._pending_fault_parent = parent
 
     # -- the four stages -----------------------------------------------------
 
@@ -183,28 +201,51 @@ class MapeLoop:
         return executed
 
     def iterate(self) -> LoopRecord:
-        """One full MAPE cycle; phase transitions land on the bus."""
+        """One full MAPE cycle; phase transitions land on the bus.
+
+        The cycle runs inside a ``mirto.mape.cycle`` span with the four
+        phases as child spans. When a fault armed pending triggers since
+        the previous cycle, the cycle adopts the fault's captured span
+        context as parent — linking the asynchronous reaction back into
+        the fault's trace.
+        """
         iteration = len(self.records)
-        samples = self.sense()
-        self.ctx.publish("mirto.mape.sense", {
-            "iteration": iteration, "components": len(samples)})
-        triggers = self.analyze(samples)
-        self.ctx.publish("mirto.mape.analyze", {
-            "iteration": iteration,
-            "triggers": [f"{t.kind}:{t.component}" for t in triggers]})
-        actions = self.plan(triggers)
-        self.ctx.publish("mirto.mape.plan", {
-            "iteration": iteration,
-            "actions": [f"{a.kind}:{a.component}" for a in actions]})
-        executed = self.execute(actions)
-        self.ctx.publish("mirto.mape.execute", {
-            "iteration": iteration, "executed": executed})
+        parent, self._pending_fault_parent = \
+            self._pending_fault_parent, None
+        tracer = self.ctx.tracer
+        start_s = self.ctx.now
+        with tracer.start_span("mirto.mape.cycle", layer="mirto",
+                               parent=parent,
+                               iteration=iteration) as cycle:
+            with tracer.start_span("mirto.mape.sense", layer="mirto"):
+                samples = self.sense()
+                self.ctx.publish("mirto.mape.sense", {
+                    "iteration": iteration, "components": len(samples)})
+            with tracer.start_span("mirto.mape.analyze", layer="mirto"):
+                triggers = self.analyze(samples)
+                self.ctx.publish("mirto.mape.analyze", {
+                    "iteration": iteration,
+                    "triggers": [f"{t.kind}:{t.component}"
+                                 for t in triggers]})
+            with tracer.start_span("mirto.mape.plan", layer="mirto"):
+                actions = self.plan(triggers)
+                self.ctx.publish("mirto.mape.plan", {
+                    "iteration": iteration,
+                    "actions": [f"{a.kind}:{a.component}"
+                                for a in actions]})
+            with tracer.start_span("mirto.mape.execute", layer="mirto"):
+                executed = self.execute(actions)
+                self.ctx.publish("mirto.mape.execute", {
+                    "iteration": iteration, "executed": executed})
+        self._iterations.inc()
+        self._tick_latency.observe(self.ctx.now - start_s)
         record = LoopRecord(
             iteration=iteration,
             sensed_components=len(samples),
             triggers=triggers,
             actions=actions,
             executed=executed,
+            span_context=cycle.context,
         )
         self.records.append(record)
         return record

@@ -107,6 +107,11 @@ class PlacementCostCache:
         self._duration: dict[tuple, float] = {}
         self._energy: dict[tuple, float] = {}
         self._transfer: dict[tuple, float] = {}
+        metrics = infrastructure.ctx.metrics
+        self._hits = metrics.counter(
+            "mirto.placement.cache_hits", "memoized cost-term hits")
+        self._misses = metrics.counter(
+            "mirto.placement.cache_misses", "cost terms computed fresh")
 
     def refresh(self) -> None:
         """Drop every memoized term if the infrastructure changed."""
@@ -128,6 +133,9 @@ class PlacementCostCache:
         if value is None:
             value = device.estimate_duration(task)
             self._duration[key] = value
+            self._misses.value += 1
+        else:
+            self._hits.value += 1
         return value
 
     def energy(self, device: Device, task: Task) -> float:  # perf: hot
@@ -136,6 +144,9 @@ class PlacementCostCache:
         if value is None:
             value = device.estimate_energy(task)
             self._energy[key] = value
+            self._misses.value += 1
+        else:
+            self._hits.value += 1
         return value
 
     def transfer(self, src: str, dst: str, nbytes: int) -> float:  # perf: hot
@@ -145,6 +156,9 @@ class PlacementCostCache:
             value = self.infrastructure.network.estimate_transfer_time(
                 src, dst, nbytes)
             self._transfer[key] = value
+            self._misses.value += 1
+        else:
+            self._hits.value += 1
         return value
 
 
@@ -543,11 +557,22 @@ def execute_placement(application: Application, placement: Placement,
         record = yield sim.process(device.execute(task))
         energy_total["j"] += record.energy_j
         records.append(record)
+        # Emitted at the completion instant (sim.now == record.end_s),
+        # keeping trace timestamps monotone; an ambient `with` around
+        # the whole generator would misattribute interleaved events.
+        tracer.record_span(
+            "continuum.device.task", "continuum",
+            record.start_s, record.end_s,
+            task=record.task_name, device=record.device_name,
+            operating_point=record.operating_point)
         done_events[task.name].succeed(record)
 
-    for task in application.tasks:
-        sim.process(run_task(task))
-    sim.run(until=sim.all_of(list(done_events.values())))
+    tracer = infrastructure.ctx.tracer
+    with tracer.start_span("mirto.placement.execute", layer="mirto",
+                           application=application.name):
+        for task in application.tasks:
+            sim.process(run_task(task))
+        sim.run(until=sim.all_of(list(done_events.values())))
     return ExecutionReport(
         application=application.name,
         strategy=placement.strategy,

@@ -38,19 +38,27 @@ class MetricSeries:
     """A named, bounded series of (time, value) samples.
 
     Optional thresholds turn the series into an alert source: crossing
-    ``alert_above``/``alert_below`` appends an :class:`Alert`.
+    ``alert_above``/``alert_below`` appends an :class:`Alert`. Alerts
+    use the same bounded-deque discipline as the samples (an alerting
+    series left running would otherwise grow without bound); old alerts
+    fall off the front and :attr:`dropped_alerts` counts the evictions,
+    mirroring ``TraceRecorder.dropped_count``.
     """
 
     def __init__(self, name: str, retention: int = 1024,
                  alert_above: float | None = None,
-                 alert_below: float | None = None):
+                 alert_below: float | None = None,
+                 alert_retention: int = 256):
         if retention < 1:
             raise ConfigurationError("retention must be >= 1")
+        if alert_retention < 1:
+            raise ConfigurationError("alert retention must be >= 1")
         self.name = name
         self.samples: deque[tuple[float, float]] = deque(maxlen=retention)
         self.alert_above = alert_above
         self.alert_below = alert_below
-        self.alerts: list[Alert] = []
+        self.alerts: deque[Alert] = deque(maxlen=alert_retention)
+        self._alerts_total = 0
 
     def record(self, time_s: float, value: float) -> Alert | None:
         """Append a sample; returns an alert when a threshold is crossed."""
@@ -62,7 +70,18 @@ class MetricSeries:
             alert = Alert(self.name, time_s, value, self.alert_below, "below")
         if alert is not None:
             self.alerts.append(alert)
+            self._alerts_total += 1
         return alert
+
+    @property
+    def total_alerts(self) -> int:
+        """Alerts ever raised (including any that fell off the deque)."""
+        return self._alerts_total
+
+    @property
+    def dropped_alerts(self) -> int:
+        """Alerts evicted by the retention bound."""
+        return self._alerts_total - len(self.alerts)
 
     def latest(self) -> float | None:
         """Most recent value, or None when empty."""

@@ -33,6 +33,17 @@ class _MonitorBase:
             ctx.bus if ctx is not None else None)
         self.retention = retention
         self.series: dict[str, MetricSeries] = {}
+        if ctx is not None:
+            metrics = ctx.metrics
+            self._samples_ctr = metrics.counter(
+                f"monitoring.{self.kind}.samples",
+                "samples recorded", label_key="monitor")
+            self._alerts_ctr = metrics.counter(
+                f"monitoring.{self.kind}.alerts",
+                "threshold alerts raised", label_key="monitor")
+        else:
+            self._samples_ctr = None
+            self._alerts_ctr = None
 
     def _now(self, time_s: float | None) -> float:
         if time_s is not None:
@@ -70,6 +81,10 @@ class _MonitorBase:
         series = self.metric(metric_name, alert_above=alert_above,
                              alert_below=alert_below)
         alert = series.record(time_s, value)
+        if self._samples_ctr is not None:
+            self._samples_ctr.inc(label=self.name)
+            if alert is not None:
+                self._alerts_ctr.inc(label=self.name)
         if self.bus is not None:
             self.bus.publish(
                 f"metrics.{self.kind}.{self.name}.{metric_name}",

@@ -1,0 +1,99 @@
+"""Opt-in DES profiler: wall time and sim time per event owner.
+
+The simulator's drain loop is the one place every executed event passes
+through, so that is where profiling hooks live — but the hooks are dark
+by default (a single attribute check per drain) and the wall-clock read
+happens *here*, in ``obs``, never inside simulation code. Wall times
+are inherently nondeterministic; the profiler is therefore opt-in and
+its output is excluded from determinism comparisons (sim-time and event
+counts in the same rows *are* deterministic).
+
+Attribution is by event owner, duck-typed so this module never imports
+the simulator (runtime → obs → continuum would be a cycle):
+
+- a callback bound to an object with a ``generator`` attribute is a
+  simulation :class:`Process` → ``process:<name>``;
+- an event with a ``delay`` attribute is a bare :class:`Timeout` →
+  ``kernel:timeout``;
+- anything else is attributed to its type → ``kernel:<type>``.
+
+``repro-obs profile`` renders the aggregation as a table plus a
+two-level flamegraph-style view (kind → name, bar width ∝ wall time).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+#: Topic under which a profile snapshot is recorded in the trace.
+PROFILE_TOPIC = "obs.profile"
+
+
+def _owner_of(event: Any, callbacks: list) -> str:
+    """Attribute an executed event to its owning process or kernel type."""
+    if hasattr(event, "generator"):
+        # The process-completion event itself (Process is an Event).
+        name = getattr(event, "name", None) or "anonymous"
+        return "process:" + name
+    for callback in callbacks:
+        target = getattr(callback, "__self__", None)
+        if target is not None and hasattr(target, "generator"):
+            name = getattr(target, "name", None) or "anonymous"
+            return "process:" + name
+    if hasattr(event, "delay"):
+        return "kernel:timeout"
+    return "kernel:" + type(event).__name__.lower()
+
+
+class DesProfiler:
+    """Aggregates executed-event cost per owner; install on a Simulator.
+
+    Rows map owner → [events, wall_ns, sim_s]. ``sim_s`` is the sim
+    time that elapsed while the event was at the head of the queue (the
+    inter-event gap it closed), ``wall_ns`` is the host time spent
+    running its callbacks.
+    """
+
+    #: Wall-clock source, read only from this module. Kept as a class
+    #: attribute so tests can substitute a fake clock.
+    clock = staticmethod(time.perf_counter_ns)
+
+    def __init__(self) -> None:
+        self.rows: dict[str, list] = {}
+        self.events_profiled = 0
+
+    def install(self, sim: Any) -> "DesProfiler":
+        """Attach to a simulator; its drain loop starts accounting."""
+        sim._profiler = self
+        return self
+
+    def uninstall(self, sim: Any) -> None:
+        if getattr(sim, "_profiler", None) is self:
+            sim._profiler = None
+
+    def account(self, event: Any, callbacks: list,
+                sim_dt: float, wall_ns: int) -> None:
+        """Called by the simulator drain loop for each executed event."""
+        owner = _owner_of(event, callbacks)
+        row = self.rows.get(owner)
+        if row is None:
+            self.rows[owner] = [1, wall_ns, sim_dt]
+        else:
+            row[0] += 1
+            row[1] += wall_ns
+            row[2] += sim_dt
+        self.events_profiled += 1
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready snapshot; rows sorted by owner for stable layout.
+
+        (The wall_ns values themselves are nondeterministic — do not
+        include this payload in byte-identical replay comparisons.)
+        """
+        return {
+            "events_profiled": self.events_profiled,
+            "rows": {owner: {"events": row[0], "wall_ns": row[1],
+                             "sim_s": row[2]}
+                     for owner, row in sorted(self.rows.items())},
+        }

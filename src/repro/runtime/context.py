@@ -23,6 +23,9 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.events import EventBus, Handler, Subscription
 from repro.core.rng import RngRegistry, derive_seed
+from repro.obs.metrics import METRICS_TOPIC, MetricsRegistry
+from repro.obs.profiler import PROFILE_TOPIC
+from repro.obs.spans import Tracer
 from repro.runtime.trace import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,15 +48,34 @@ class TracedEventBus(EventBus):
 
     Each :meth:`publish` appends a trace record *before* delivery, so
     even topics nobody subscribes to are visible on the shared timeline.
+    When a causal span is active (:class:`~repro.obs.spans.Tracer`),
+    its envelope is stamped onto the record, and when a metrics
+    registry is attached every publish bumps the per-topic
+    ``runtime.bus.publishes`` counter.
     """
 
-    def __init__(self, clock: Callable[[], float], trace: TraceRecorder):
+    def __init__(self, clock: Callable[[], float], trace: TraceRecorder,
+                 tracer: "Tracer | None" = None,
+                 metrics: "MetricsRegistry | None" = None):
         super().__init__()
         self._clock = clock
         self._trace = trace
+        # Bound once at construction so the hot path below pays plain
+        # attribute loads, not conditional registry lookups.
+        self._span_stack = tracer._stack if tracer is not None else None
+        self._publish_counter = metrics.counter(
+            "runtime.bus.publishes", "bus publishes by topic",
+            label_key="topic") if metrics is not None else None
 
-    def publish(self, topic: str, payload: Any = None) -> int:
-        self._trace.record(self._clock(), topic, payload)
+    def publish(self, topic: str, payload: Any = None) -> int:  # perf: hot
+        stack = self._span_stack
+        self._trace.record(self._clock(), topic, payload,
+                           stack[-1].envelope if stack else None)
+        counter = self._publish_counter
+        if counter is not None:
+            counter.value += 1
+            labels = counter.labels
+            labels[topic] = labels.get(topic, 0) + 1
         return super().publish(topic, payload)
 
 
@@ -68,7 +90,28 @@ class RuntimeContext:
                                  else _simulator_cls()(start_time))
         self.rng = RngRegistry(self.seed)
         self.trace = TraceRecorder(capacity=trace_capacity)
-        self.bus: EventBus = TracedEventBus(lambda: self.sim.now, self.trace)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.rng.python("obs.tracer"),
+                             lambda: self.sim.now, self.trace)
+        self.bus: EventBus = TracedEventBus(
+            lambda: self.sim.now, self.trace, self.tracer, self.metrics)
+        self._register_core_metrics()
+
+    def _register_core_metrics(self) -> None:
+        """Pull-style gauges over the spine's own counters."""
+        self.metrics.gauge_callback(
+            "continuum.sim.events_executed",
+            lambda: self.sim.processed_events,
+            "DES events executed by the canonical simulator")
+        self.metrics.gauge_callback(
+            "runtime.trace.records", lambda: len(self.trace),
+            "trace records currently retained")
+        self.metrics.gauge_callback(
+            "runtime.trace.dropped", lambda: self.trace.dropped_count,
+            "trace records evicted by the ring bound")
+        self.metrics.gauge_callback(
+            "runtime.tracer.spans", lambda: self.tracer.spans_recorded,
+            "causal spans recorded")
 
     # -- clock -------------------------------------------------------------
 
@@ -113,7 +156,27 @@ class RuntimeContext:
         child.rng = self.rng.fork(name)
         child.trace = self.trace
         child.bus = self.bus
+        child.metrics = self.metrics
+        child.tracer = self.tracer
         return child
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot_observability(self) -> None:
+        """Embed metric (and profiler) snapshots in the trace.
+
+        Appends an ``obs.metrics`` record with the full registry payload
+        and, when a :class:`~repro.obs.profiler.DesProfiler` is
+        installed on the simulator, an ``obs.profile`` record — so one
+        exported JSONL carries spans, events, metrics and profile, and
+        ``repro-obs`` needs nothing but the file.
+        """
+        self.trace.record(self.now, METRICS_TOPIC,
+                          self.metrics.to_payload())
+        profiler = getattr(self.sim, "_profiler", None)
+        if profiler is not None:
+            self.trace.record(self.now, PROFILE_TOPIC,
+                              profiler.to_payload())
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"RuntimeContext(seed={self.seed}, now={self.now}, "

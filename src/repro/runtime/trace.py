@@ -93,12 +93,17 @@ class TraceRecord:
     time_s: float
     topic: str
     payload: Any
+    #: Span envelope ({trace_id, span_id, parent_id}) when the record
+    #: was made under an active causal span; None otherwise. Stored as
+    #: the span's prebuilt dict — already JSON-primitive, never mutated.
+    span: Any = None
 
     def to_json(self) -> str:
-        return json.dumps(
-            {"seq": self.seq, "time_s": self.time_s, "topic": self.topic,
-             "payload": self.payload},
-            sort_keys=True, separators=(",", ":"))
+        obj = {"seq": self.seq, "time_s": self.time_s, "topic": self.topic,
+               "payload": self.payload}
+        if self.span is not None:
+            obj["span"] = self.span
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
 class TraceRecorder:
@@ -112,7 +117,7 @@ class TraceRecorder:
         self._seq = 0
 
     def record(self, time_s: float, topic: str,  # perf: hot
-               payload: Any = None) -> TraceRecord:
+               payload: Any = None, span: Any = None) -> TraceRecord:
         """Append one record; payload is normalized via :func:`jsonify`.
 
         The sequence number grows without bound and never wraps: Python
@@ -124,7 +129,7 @@ class TraceRecorder:
         longer starts at seq 0.
         """
         rec = TraceRecord(self._seq, float(time_s), topic,
-                          jsonify(payload))
+                          jsonify(payload), span)
         self._seq += 1
         self._records.append(rec)
         return rec

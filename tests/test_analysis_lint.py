@@ -433,11 +433,52 @@ class TestBaseline:
         assert diff.blocking == []
 
 
+class TestPrintTelemetryRule:
+    def test_print_flagged_in_library_code(self):
+        findings = lint("""
+            def report(value):
+                print("value is", value)
+        """)
+        assert rules_of(findings) == ["print-telemetry"]
+        assert findings[0].line == 3
+
+    def test_rendering_clis_allowlisted_by_default(self):
+        findings = lint("""
+            print("rendered output")
+        """, path="src/repro/obs/cli.py")
+        assert findings == []
+        findings = lint("""
+            print("findings table")
+        """, path="src/repro/analysis/cli.py")
+        assert findings == []
+
+    def test_configured_allowlist_entry(self):
+        source = """
+            print("ok here")
+        """
+        assert rules_of(lint(source)) == ["print-telemetry"]
+        assert lint(source, print_allowlist=["dpe/tool.py"]) == []
+
+    def test_directory_allowlist_entry(self):
+        findings = lint("""
+            print("anywhere in the package")
+        """, path="src/repro/dpe/deep/tool.py",
+            print_allowlist=["dpe/"])
+        assert findings == []
+
+    def test_method_named_print_not_flagged(self):
+        findings = lint("""
+            def export(doc):
+                doc.print("page 1")
+        """)
+        assert findings == []
+
+
 class TestEngine:
     def test_all_expected_rules_registered(self):
         assert {"global-random", "wall-clock", "mutable-default",
                 "overbroad-except", "seed-entropy",
-                "runtime-construction",
+                "runtime-construction", "print-telemetry",
                 "hot-path-allocation"} <= set(all_rules())
 
     def test_syntax_error_reported_not_raised(self):

@@ -73,10 +73,31 @@ def _run_scenario(seed: int):
         "engine": engine,
         "cluster": cluster,
         "monitor": monitor,
+        "injector": injector,
         "target": target,
         "fault_time": fault_time,
         "mape_record": record,
     }
+
+
+def _remediate(run):
+    """Repair and redeploy inside the MAPE cycle's causal scope.
+
+    resume() makes the repair, the placement re-solve and the kube
+    reschedule/bind all attach under the fault's trace id.
+    """
+    ctx = run["ctx"]
+    with ctx.tracer.resume(run["mape_record"].span_context):
+        run["injector"].repair_now(run["target"])
+        retry = run["engine"].deploy(_scenario().to_service_template(),
+                                     strategy="greedy")
+        assert retry.ok, retry.body
+        run["cluster"].create_pod(
+            PodSpec(name="svc-retry",
+                    request=ResourceRequest(500, 2**20)))
+        # Both the evicted original pod and the retry pod land.
+        assert run["cluster"].reconcile() == 2
+    return run
 
 
 class TestCrossLayerFaultVisibility:
@@ -127,8 +148,96 @@ class TestCrossLayerFaultVisibility:
                    for a, b in zip(records, records[1:]))
 
 
+class TestCausalSpanTree:
+    """One injected fault must yield one span tree across all layers."""
+
+    def setup_method(self):
+        self.run = _remediate(_run_scenario(seed=42))
+        spans = [r.payload for r in self.run["ctx"].trace
+                 if r.topic == "obs.span"]
+        roots = [s for s in spans
+                 if s["name"] == "continuum.fault.inject"]
+        assert len(roots) == 1
+        self.root = roots[0]
+        self.spans = [s for s in spans
+                      if s["trace_id"] == self.root["trace_id"]]
+
+    def test_fault_trace_spans_all_layers(self):
+        names = {s["name"] for s in self.spans}
+        # continuum fault -> kube evict -> MAPE phases -> repair ->
+        # placement -> kube bind, all under one trace id.
+        assert {"continuum.fault.inject", "kube.evict",
+                "mirto.mape.cycle", "mirto.mape.sense",
+                "mirto.mape.analyze", "mirto.mape.plan",
+                "mirto.mape.execute", "continuum.fault.repair",
+                "mirto.placement.solve", "mirto.placement.execute",
+                "kube.schedule", "kube.bind"} <= names
+        assert {"continuum", "mirto", "kube"} <= \
+            {s["layer"] for s in self.spans}
+
+    def test_every_span_descends_from_the_fault(self):
+        by_id = {s["span_id"]: s for s in self.spans}
+
+        def ancestor_root(span):
+            while span["parent_id"] is not None:
+                span = by_id[span["parent_id"]]
+            return span
+
+        assert self.root["parent_id"] is None
+        for span in self.spans:
+            assert ancestor_root(span) is self.root
+
+    def test_mape_cycle_is_child_of_the_inject(self):
+        cycle = [s for s in self.spans
+                 if s["name"] == "mirto.mape.cycle"][0]
+        assert cycle["parent_id"] == self.root["span_id"]
+        phases = [s for s in self.spans
+                  if s["name"].startswith("mirto.mape.")
+                  and s["name"] != "mirto.mape.cycle"]
+        assert {p["parent_id"] for p in phases} == {cycle["span_id"]}
+
+    def test_eviction_is_inside_the_inject(self):
+        evict = [s for s in self.spans if s["name"] == "kube.evict"][0]
+        assert evict["parent_id"] == self.root["span_id"]
+
+    def test_deploy_spans_are_outside_the_fault_trace(self):
+        # The initial deploy (before the fault) must NOT share the
+        # fault's trace id — only remediation work attaches to it.
+        trace = self.run["ctx"].trace
+        deploys = [r.payload for r in trace
+                   if r.topic == "obs.span"
+                   and r.payload["name"] == "mirto.deploy"]
+        assert len(deploys) == 2  # initial + remediation redeploy
+        trace_ids = {d["trace_id"] for d in deploys}
+        assert self.root["trace_id"] in trace_ids
+        assert len(trace_ids) == 2
+
+    def test_publishes_carry_the_fault_envelope(self):
+        trace = self.run["ctx"].trace
+        fault_records = [r for r in trace
+                         if r.topic == "continuum.fault.fail"]
+        assert fault_records[0].span is not None
+        assert fault_records[0].span["trace_id"] == \
+            self.root["trace_id"]
+
+
 class TestDeterministicReplay:
     def test_same_seed_byte_identical_trace(self):
         first = _run_scenario(seed=42)["ctx"].trace.to_jsonl()
         second = _run_scenario(seed=42)["ctx"].trace.to_jsonl()
         assert first == second
+
+    def test_same_seed_byte_identical_spans_and_metrics(self):
+        def observed_run():
+            run = _remediate(_run_scenario(seed=42))
+            ctx = run["ctx"]
+            ctx.snapshot_observability()
+            spans = "\n".join(
+                r.to_json() for r in ctx.trace if r.topic == "obs.span")
+            return spans, ctx.metrics.render(), ctx.trace.to_jsonl()
+
+        first = observed_run()
+        second = observed_run()
+        assert first[0] == second[0]  # span dump, ids included
+        assert first[1] == second[1]  # metrics exposition
+        assert first[2] == second[2]  # whole trace

@@ -70,6 +70,26 @@ class TestMetricSeries:
         alert = s.record(0, 0.1)
         assert alert.direction == "below"
 
+    def test_alert_retention_bound(self):
+        s = MetricSeries("util", alert_above=0.5, alert_retention=3)
+        for i in range(10):
+            s.record(i, 0.9)
+        assert len(s.alerts) == 3
+        assert s.total_alerts == 10
+        assert s.dropped_alerts == 7
+        # Oldest alerts fell off the front; the newest survive.
+        assert [a.time_s for a in s.alerts] == [7, 8, 9]
+
+    def test_no_drops_below_retention(self):
+        s = MetricSeries("util", alert_above=0.5)
+        s.record(0, 0.9)
+        assert s.dropped_alerts == 0
+        assert s.total_alerts == 1
+
+    def test_invalid_alert_retention(self):
+        with pytest.raises(ConfigurationError):
+            MetricSeries("m", alert_retention=0)
+
     def test_rate(self):
         s = MetricSeries("m")
         for t in [0.0, 0.5, 1.0, 1.5, 2.0]:

@@ -1,0 +1,140 @@
+"""Tests for the repro-obs inspection CLI."""
+
+import json
+
+from repro.obs import DesProfiler
+from repro.obs.cli import (
+    load_records,
+    main,
+    render_metrics,
+    render_profile,
+    render_timeline,
+    render_tree,
+)
+from repro.runtime import RuntimeContext
+
+
+def export_trace(tmp_path, with_profile=True):
+    """A small but complete trace: spans, publishes, snapshots."""
+    ctx = RuntimeContext(seed=21)
+    if with_profile:
+        DesProfiler().install(ctx.sim)
+    with ctx.tracer.start_span("deploy", layer="mirto") as outer:
+        ctx.bus.publish("mirto.deploy.start", {"app": "demo"})
+        with ctx.tracer.start_span("solve", layer="mirto"):
+            ctx.bus.publish("mirto.placement.done", None)
+    ctx.sim.timeout(1.0)
+    ctx.run()
+    ctx.metrics.counter("test.cli.ops").inc(3)
+    ctx.snapshot_observability()
+    path = tmp_path / "trace.jsonl"
+    ctx.trace.export_jsonl(path)
+    return path, outer.context.trace_id
+
+
+class TestRenderTree:
+    def test_tree_nests_children(self, tmp_path):
+        path, trace_id = export_trace(tmp_path)
+        out = render_tree(load_records(str(path)))
+        assert f"trace {trace_id}" in out
+        assert "deploy (mirto)" in out
+        assert "└─ solve (mirto)" in out
+
+    def test_trace_id_filter(self, tmp_path):
+        path, trace_id = export_trace(tmp_path)
+        records = load_records(str(path))
+        assert f"trace {trace_id}" in render_tree(records,
+                                                  trace_id=trace_id)
+        assert render_tree(records, trace_id="f" * 16) == "(no spans)"
+
+    def test_orphan_parent_becomes_root(self):
+        records = [{"topic": "obs.span", "time_s": 1.0, "payload": {
+            "name": "lost", "layer": "x", "trace_id": "t1",
+            "span_id": "s1", "parent_id": "missing",
+            "start_s": 0.0, "end_s": 1.0, "status": "ok", "attrs": {}}}]
+        out = render_tree(records)
+        assert "lost (x)" in out
+
+    def test_error_status_rendered(self):
+        records = [{"topic": "obs.span", "time_s": 1.0, "payload": {
+            "name": "boom", "layer": "x", "trace_id": "t1",
+            "span_id": "s1", "parent_id": None,
+            "start_s": 0.0, "end_s": 1.0, "status": "error",
+            "attrs": {}}}]
+        assert "[error]" in render_tree(records)
+
+
+class TestRenderTimeline:
+    def test_chronological_with_trace_markers(self, tmp_path):
+        path, trace_id = export_trace(tmp_path)
+        out = render_timeline(load_records(str(path)))
+        assert "mirto.deploy.start" in out
+        assert trace_id[:8] in out  # publishes made in-span are marked
+        assert "obs.span" not in out  # snapshots filtered out
+
+    def test_by_topic_counts(self, tmp_path):
+        path, _ = export_trace(tmp_path)
+        out = render_timeline(load_records(str(path)), by="topic")
+        counts = dict(line.rsplit(None, 1) for line in out.splitlines())
+        assert counts["mirto.deploy.start"] == "1"
+
+    def test_by_layer_counts(self, tmp_path):
+        path, _ = export_trace(tmp_path)
+        out = render_timeline(load_records(str(path)), by="layer")
+        assert "mirto" in out
+
+
+class TestRenderMetricsAndProfile:
+    def test_metrics_exposition(self, tmp_path):
+        path, _ = export_trace(tmp_path)
+        out = render_metrics(load_records(str(path)))
+        assert "# TYPE repro_test_cli_ops counter" in out
+        assert "repro_test_cli_ops 3" in out
+        assert "repro_runtime_bus_publishes" in out
+
+    def test_metrics_missing_snapshot_message(self):
+        out = render_metrics([])
+        assert "no metrics snapshot" in out
+
+    def test_profile_table_and_flame(self, tmp_path):
+        path, _ = export_trace(tmp_path)
+        out = render_profile(load_records(str(path)))
+        assert "kernel:timeout" in out
+        assert "█" in out and "▒" in out
+
+    def test_profile_missing_snapshot_message(self):
+        out = render_profile([])
+        assert "no profile snapshot" in out
+
+
+class TestMain:
+    def test_all_subcommands_exit_zero_nonempty(self, tmp_path, capsys):
+        path, _ = export_trace(tmp_path)
+        for sub in ("tree", "timeline", "metrics", "profile"):
+            assert main([sub, str(path)]) == 0
+            assert capsys.readouterr().out.strip()
+
+    def test_tree_trace_id_flag(self, tmp_path, capsys):
+        path, trace_id = export_trace(tmp_path)
+        assert main(["tree", str(path), "--trace-id", trace_id]) == 0
+        assert trace_id in capsys.readouterr().out
+
+    def test_timeline_by_flag(self, tmp_path, capsys):
+        path, _ = export_trace(tmp_path)
+        assert main(["timeline", str(path), "--by", "topic"]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["tree", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_module_entry_point_importable(self):
+        import repro.obs.__main__  # noqa: F401
+
+
+class TestLoadRecords:
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        record = {"topic": "a.b.c", "time_s": 0.0, "payload": None}
+        path.write_text(json.dumps(record) + "\n\n")
+        assert load_records(str(path)) == [record]

@@ -1,0 +1,161 @@
+"""Unit tests for repro.obs.metrics: registry, instruments, exposition."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_exposition,
+)
+
+
+class TestNaming:
+    def test_three_segments_required(self):
+        with pytest.raises(ValueError):
+            Counter("bus.publishes")
+        with pytest.raises(ValueError):
+            Gauge("publishes")
+        Counter("runtime.bus.publishes")  # ok
+
+    def test_segments_must_be_lowercase_identifiers(self):
+        with pytest.raises(ValueError):
+            Counter("Runtime.bus.publishes")
+        with pytest.raises(ValueError):
+            Counter("runtime..publishes")
+        Counter("runtime.bus_v2.total_publishes")  # ok
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("a.b.c")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_negative_increment_rejected(self):
+        c = Counter("a.b.c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labels(self):
+        c = Counter("a.b.c", label_key="topic")
+        c.inc(label="x")
+        c.inc(2, label="y")
+        c.inc(label="x")
+        assert c.value == 4
+        assert c.labels == {"x": 2, "y": 2}
+
+    def test_hot_path_direct_bump_idiom(self):
+        c = Counter("a.b.c", label_key="topic")
+        c.value += 1
+        c.labels["t"] = c.labels.get("t", 0) + 1
+        assert c.to_payload() == {"kind": "counter", "value": 1,
+                                  "label_key": "topic", "labels": {"t": 1}}
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = Gauge("a.b.c")
+        g.set(4.5)
+        assert g.value == 4.5
+
+    def test_callback_backed(self):
+        state = [0]
+        registry = MetricsRegistry()
+        g = registry.gauge_callback("a.b.c", lambda: state[0])
+        state[0] = 7
+        assert g.value == 7
+        with pytest.raises(RuntimeError):
+            g.set(1)
+
+    def test_callback_rebinds_on_reregistration(self):
+        registry = MetricsRegistry()
+        registry.gauge_callback("a.b.c", lambda: 1)
+        g = registry.gauge_callback("a.b.c", lambda: 2)
+        assert g.value == 2
+        assert len(registry) == 1
+
+
+class TestHistogram:
+    def test_observations_bucketed(self):
+        h = Histogram("a.b.c", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # <=1, <=10, +Inf
+        assert h.count == 4
+        assert h.sum == pytest.approx(56.2)
+
+    def test_buckets_sorted_and_nonempty(self):
+        h = Histogram("a.b.c", buckets=(10.0, 1.0))
+        assert h.buckets == (1.0, 10.0)
+        with pytest.raises(ValueError):
+            Histogram("a.b.c", buckets=())
+
+    def test_default_buckets(self):
+        h = Histogram("a.b.c")
+        assert h.buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a.b.c") is registry.counter("a.b.c")
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b.c")
+        with pytest.raises(TypeError):
+            registry.gauge("a.b.c")
+        with pytest.raises(TypeError):
+            registry.gauge_callback("a.b.c", lambda: 0)
+
+    def test_payload_sorted_and_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("z.y.x").inc(3)
+            registry.gauge("a.b.c").set(1.5)
+            h = registry.histogram("m.n.o", buckets=(1.0,))
+            h.observe(0.5)
+            return registry.to_payload()
+
+        payload = build()
+        assert list(payload) == ["a.b.c", "m.n.o", "z.y.x"]
+        assert payload == build()
+
+    def test_get_missing_returns_none(self):
+        assert MetricsRegistry().get("no.such.metric") is None
+
+
+class TestExposition:
+    def test_counter_with_labels(self):
+        registry = MetricsRegistry()
+        c = registry.counter("runtime.bus.publishes", label_key="topic")
+        c.inc(2, label="a.b")
+        text = registry.render()
+        assert "# TYPE repro_runtime_bus_publishes counter" in text
+        assert "repro_runtime_bus_publishes 2" in text
+        assert 'repro_runtime_bus_publishes{topic="a.b"} 2' in text
+
+    def test_histogram_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("a.b.c", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        text = registry.render()
+        assert 'repro_a_b_c_bucket{le="1.0"} 1' in text
+        assert 'repro_a_b_c_bucket{le="10.0"} 2' in text
+        assert 'repro_a_b_c_bucket{le="+Inf"} 3' in text
+        assert "repro_a_b_c_count 3" in text
+
+    def test_render_from_payload_matches_live_render(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b.c").inc()
+        registry.gauge("d.e.f").set(2)
+        assert render_exposition(registry.to_payload()) == registry.render()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""

@@ -1,0 +1,148 @@
+"""Unit tests for the opt-in DES profiler."""
+
+from repro.continuum.simulator import Simulator
+from repro.obs import DesProfiler
+
+
+def make_profiled_sim():
+    sim = Simulator()
+    profiler = DesProfiler()
+    # Deterministic fake wall clock: 10 ns per read.
+    ticks = [0]
+
+    def fake_clock():
+        ticks[0] += 10
+        return ticks[0]
+
+    profiler.clock = fake_clock
+    profiler.install(sim)
+    return sim, profiler
+
+
+class TestInstall:
+    def test_install_and_uninstall(self):
+        sim = Simulator()
+        profiler = DesProfiler().install(sim)
+        assert sim._profiler is profiler
+        profiler.uninstall(sim)
+        assert sim._profiler is None
+
+    def test_uninstall_foreign_profiler_is_noop(self):
+        sim = Simulator()
+        mine = DesProfiler().install(sim)
+        DesProfiler().uninstall(sim)
+        assert sim._profiler is mine
+
+    def test_dark_by_default(self):
+        sim = Simulator()
+        sim.timeout(1.0)
+        sim.run()
+        assert sim._profiler is None
+
+
+class TestAttribution:
+    def test_bare_timeouts_attributed_to_kernel(self):
+        sim, profiler = make_profiled_sim()
+        for _ in range(3):
+            sim.timeout(1.0)
+        sim.run()
+        assert profiler.rows["kernel:timeout"][0] == 3
+        assert profiler.events_profiled == 3
+
+    def test_process_events_attributed_by_name(self):
+        sim, profiler = make_profiled_sim()
+
+        def worker(s):
+            yield s.timeout(1.0)
+            yield s.timeout(2.0)
+
+        sim.process(worker(sim), name="worker")
+        sim.run()
+        owners = set(profiler.rows)
+        assert "process:worker" in owners
+        assert profiler.events_profiled == sim.processed_events
+
+    def test_sim_time_attributed_to_gap_closer(self):
+        sim, profiler = make_profiled_sim()
+        sim.timeout(5.0)
+        sim.run()
+        total_sim = sum(row[2] for row in profiler.rows.values())
+        assert total_sim == 5.0
+
+    def test_wall_time_accumulates(self):
+        sim, profiler = make_profiled_sim()
+        sim.timeout(1.0)
+        sim.timeout(2.0)
+        sim.run()
+        # Fake clock advances 10 ns per read, two reads per event.
+        assert profiler.rows["kernel:timeout"][1] == 2 * 10
+
+
+class TestRunModes:
+    def test_run_until_deadline_with_profiler(self):
+        sim, profiler = make_profiled_sim()
+        for delay in (1.0, 2.0, 50.0):
+            sim.timeout(delay)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+        assert profiler.rows["kernel:timeout"][0] == 2
+
+    def test_step_with_profiler(self):
+        sim, profiler = make_profiled_sim()
+        sim.timeout(1.0)
+        sim.step()
+        assert profiler.events_profiled == 1
+
+    def test_profiled_run_matches_unprofiled_schedule(self):
+        def build(profiled):
+            sim = Simulator()
+            if profiled:
+                DesProfiler().install(sim)
+            order = []
+
+            def worker(s, tag, delay):
+                yield s.timeout(delay)
+                order.append((tag, s.now))
+
+            sim.process(worker(sim, "a", 2.0), name="a")
+            sim.process(worker(sim, "b", 1.0), name="b")
+            sim.run()
+            return order, sim.now, sim.processed_events
+
+        assert build(True) == build(False)
+
+
+class TestPayload:
+    def test_payload_sorted_and_shaped(self):
+        sim, profiler = make_profiled_sim()
+
+        def worker(s):
+            yield s.timeout(1.0)
+
+        sim.process(worker(sim), name="w")
+        sim.timeout(0.5)
+        sim.run()
+        payload = profiler.to_payload()
+        assert payload["events_profiled"] == profiler.events_profiled
+        assert list(payload["rows"]) == sorted(payload["rows"])
+        for row in payload["rows"].values():
+            assert set(row) == {"events", "wall_ns", "sim_s"}
+
+    def test_deterministic_fields_replay_identically(self):
+        def run():
+            sim, profiler = make_profiled_sim()
+
+            def worker(s):
+                yield s.timeout(1.0)
+                yield s.timeout(3.0)
+
+            sim.process(worker(sim), name="w")
+            sim.timeout(2.0)
+            sim.run()
+            payload = profiler.to_payload()
+            # Wall times are nondeterministic on a real clock; the
+            # event counts and sim-time attribution are not.
+            return {owner: (row["events"], row["sim_s"])
+                    for owner, row in payload["rows"].items()}
+
+        assert run() == run()

@@ -1,0 +1,235 @@
+"""Unit tests for repro.obs.spans: causal span creation and propagation."""
+
+import random
+
+import pytest
+
+from repro.obs import SPAN_TOPIC, SpanContext, Tracer
+from repro.obs.spans import NULL_SPAN
+from repro.runtime import RuntimeContext
+from repro.runtime.trace import TraceRecorder
+
+
+def make_tracer(seed=7):
+    clock = [0.0]
+    trace = TraceRecorder()
+    tracer = Tracer(random.Random(seed), lambda: clock[0], trace)
+    return tracer, trace, clock
+
+
+class TestSpanLifecycle:
+    def test_root_span_gets_fresh_trace_id(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("work") as span:
+            pass
+        assert span.context.parent_id is None
+        assert len(span.context.trace_id) == 16
+        assert len(span.context.span_id) == 16
+        assert span.context.trace_id != span.context.span_id
+
+    def test_nested_spans_share_trace_and_link_parent(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("outer") as outer:
+            with tracer.start_span("inner") as inner:
+                pass
+        assert inner.context.trace_id == outer.context.trace_id
+        assert inner.context.parent_id == outer.context.span_id
+
+    def test_siblings_share_parent(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("outer") as outer:
+            with tracer.start_span("a") as a:
+                pass
+            with tracer.start_span("b") as b:
+                pass
+        assert a.context.parent_id == outer.context.span_id
+        assert b.context.parent_id == outer.context.span_id
+        assert a.context.span_id != b.context.span_id
+
+    def test_explicit_parent_overrides_ambient(self):
+        tracer, _, _ = make_tracer()
+        elsewhere = SpanContext("t" * 16, "s" * 16)
+        with tracer.start_span("ambient"):
+            with tracer.start_span("child", parent=elsewhere) as child:
+                pass
+        assert child.context.trace_id == elsewhere.trace_id
+        assert child.context.parent_id == elsewhere.span_id
+
+    def test_timestamps_from_injected_clock(self):
+        tracer, _, clock = make_tracer()
+        clock[0] = 3.5
+        with tracer.start_span("work") as span:
+            clock[0] = 4.25
+        assert span.start_s == 3.5
+        assert span.end_s == 4.25
+
+    def test_exception_marks_error_and_pops_stack(self):
+        tracer, trace, _ = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.start_span("boom") as span:
+                raise RuntimeError("kaput")
+        assert span.status == "error"
+        assert tracer.capture() is None
+        record = list(trace)[-1]
+        assert record.payload["status"] == "error"
+
+    def test_finished_span_lands_on_trace(self):
+        tracer, trace, clock = make_tracer()
+        clock[0] = 1.0
+        with tracer.start_span("work", layer="mirto", device="mc-00-0"):
+            clock[0] = 2.0
+        record = list(trace)[-1]
+        assert record.topic == SPAN_TOPIC
+        assert record.time_s == 2.0  # recorded at the end instant
+        assert record.payload["name"] == "work"
+        assert record.payload["layer"] == "mirto"
+        assert record.payload["attrs"] == {"device": "mc-00-0"}
+        assert tracer.spans_recorded == 1
+
+
+class TestRootSemantics:
+    def test_root_ignores_incidental_ambient_span(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("bystander") as bystander:
+            with tracer.start_span("fault", root=True) as fault:
+                pass
+        assert fault.context.trace_id != bystander.context.trace_id
+        assert fault.context.parent_id is None
+
+    def test_root_honors_resumed_scope(self):
+        tracer, _, _ = make_tracer()
+        cause = SpanContext("c" * 16, "d" * 16)
+        with tracer.resume(cause):
+            with tracer.start_span("repair", root=True) as repair:
+                pass
+        assert repair.context.trace_id == cause.trace_id
+        assert repair.context.parent_id == cause.span_id
+
+
+class TestCaptureAndResume:
+    def test_capture_returns_current_context(self):
+        tracer, _, _ = make_tracer()
+        assert tracer.capture() is None
+        with tracer.start_span("work") as span:
+            assert tracer.capture() == span.context
+        assert tracer.capture() is None
+
+    def test_resume_attaches_new_spans(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("cause") as cause:
+            pass
+        with tracer.resume(cause.context):
+            with tracer.start_span("remediation") as fix:
+                pass
+        assert fix.context.trace_id == cause.context.trace_id
+        assert fix.context.parent_id == cause.context.span_id
+        assert tracer.capture() is None
+
+    def test_resume_none_is_noop(self):
+        tracer, _, _ = make_tracer()
+        assert tracer.resume(None) is NULL_SPAN
+        with tracer.resume(None):
+            with tracer.start_span("orphan") as span:
+                pass
+        assert span.context.parent_id is None
+
+
+class TestDisable:
+    def test_disabled_tracer_returns_null_span(self):
+        tracer, trace, _ = make_tracer()
+        tracer.disable()
+        span = tracer.start_span("work")
+        assert span is NULL_SPAN
+        with span:
+            pass
+        assert len(trace) == 0
+        assert tracer.spans_recorded == 0
+
+    def test_reenable_restores_tracing(self):
+        tracer, trace, _ = make_tracer()
+        tracer.disable()
+        tracer.enable()
+        with tracer.start_span("work"):
+            pass
+        assert len(trace) == 1
+
+
+class TestRecordSpan:
+    def test_explicit_timestamps(self):
+        tracer, trace, clock = make_tracer()
+        clock[0] = 10.0
+        context = tracer.record_span("task", "continuum", 2.0, 8.0,
+                                     device="fpga-01-0")
+        payload = list(trace)[-1].payload
+        assert payload["start_s"] == 2.0
+        assert payload["end_s"] == 8.0
+        assert payload["span_id"] == context.span_id
+        # Recorded at its end instant, not the current clock.
+        assert list(trace)[-1].time_s == 8.0
+
+    def test_picks_up_ambient_parent(self):
+        tracer, _, _ = make_tracer()
+        with tracer.start_span("outer") as outer:
+            context = tracer.record_span("task", "continuum", 0.0, 1.0)
+        assert context.trace_id == outer.context.trace_id
+        assert context.parent_id == outer.context.span_id
+
+    def test_disabled_returns_none(self):
+        tracer, trace, _ = make_tracer()
+        tracer.disable()
+        assert tracer.record_span("task", "continuum", 0.0, 1.0) is None
+        assert len(trace) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_ids(self):
+        first_tracer, _, _ = make_tracer(seed=99)
+        second_tracer, _, _ = make_tracer(seed=99)
+
+        def run(tracer):
+            contexts = []
+            with tracer.start_span("outer") as outer:
+                contexts.append(outer.context)
+                with tracer.start_span("inner") as inner:
+                    contexts.append(inner.context)
+            return contexts
+
+        assert run(first_tracer) == run(second_tracer)
+
+    def test_different_seed_different_ids(self):
+        first_tracer, _, _ = make_tracer(seed=1)
+        second_tracer, _, _ = make_tracer(seed=2)
+        with first_tracer.start_span("x") as a:
+            pass
+        with second_tracer.start_span("x") as b:
+            pass
+        assert a.context.trace_id != b.context.trace_id
+
+
+class TestBusEnvelope:
+    def test_publish_inside_span_carries_envelope(self):
+        ctx = RuntimeContext(seed=5)
+        with ctx.tracer.start_span("work", layer="test") as span:
+            ctx.bus.publish("test.obs.ping", {"n": 1})
+        record = [r for r in ctx.trace if r.topic == "test.obs.ping"][0]
+        assert record.span == {
+            "trace_id": span.context.trace_id,
+            "span_id": span.context.span_id,
+            "parent_id": None,
+        }
+
+    def test_publish_outside_span_has_no_envelope(self):
+        ctx = RuntimeContext(seed=5)
+        ctx.bus.publish("test.obs.ping", {"n": 1})
+        record = [r for r in ctx.trace if r.topic == "test.obs.ping"][0]
+        assert record.span is None
+
+    def test_envelope_round_trips_through_jsonl(self):
+        ctx = RuntimeContext(seed=5)
+        with ctx.tracer.start_span("work", layer="test"):
+            ctx.bus.publish("test.obs.ping", None)
+        import json
+        lines = ctx.trace.to_jsonl().splitlines()
+        decoded = [json.loads(line) for line in lines]
+        ping = [d for d in decoded if d["topic"] == "test.obs.ping"][0]
+        assert set(ping["span"]) == {"trace_id", "span_id", "parent_id"}
