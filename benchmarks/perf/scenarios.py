@@ -189,6 +189,37 @@ def _mape_tick(quick: bool):
     return n_ops, run
 
 
+@scenario("chaos.campaign.tick")
+def _chaos_campaign_tick(quick: bool):
+    """One full chaos campaign driven through the DES per op.
+
+    Measures the campaign runner's mutation dispatch plus the fault /
+    link / breaker machinery it drives — the chaos-path equivalent of
+    ``mape.tick``.
+    """
+    from repro.chaos import ChaosCampaign, ChaosController, DeviceFlap, \
+        LinkDegradation, ZoneOutage
+    from repro.continuum import build_reference_infrastructure
+
+    n_ops = 2 if quick else 10
+
+    def run():
+        for i in range(n_ops):
+            ctx = RuntimeContext(seed=100 + i)
+            infra = build_reference_infrastructure(ctx)
+            controller = ChaosController(infra)
+            campaign = ChaosCampaign(f"bench-{i}", [
+                ZoneOutage(zone="mc-00", at_s=1.0, duration_s=2.0),
+                LinkDegradation(a="gw-00-0", b="fmdc-00", at_s=2.0,
+                                duration_s=3.0),
+                DeviceFlap(device="fpga-01-0", at_s=1.5, duration_s=4.0,
+                           cycles=4),
+            ])
+            controller.run_campaign(campaign)
+            ctx.run(until=8.0)
+    return n_ops, run
+
+
 # -- swarm placement --------------------------------------------------------
 
 def _bench_application() -> Application:

@@ -143,7 +143,7 @@ def test_federation_transfers_to_node_manager(benchmark):
         trainer = FederatedTrainer(build_clients(4, seed=3))
         trainer.train(rounds=20, local_epochs=8, lr=0.1)
         sim = Simulator()
-        infrastructure = Infrastructure(sim)
+        infrastructure = Infrastructure(ctx=sim)
         device = infrastructure.add_device(DeviceKind.HMPSOC_FPGA,
                                            name="fpga")
         node_manager = NodeManager(infrastructure)

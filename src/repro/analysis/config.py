@@ -29,7 +29,8 @@ class AnalysisConfig:
     # Packages treated as deterministic simulation code: wall-clock
     # reads are forbidden inside them (DESIGN.md invariants).
     simulation_packages: list[str] = field(
-        default_factory=lambda: ["continuum", "kube", "kb", "mirto"])
+        default_factory=lambda: ["continuum", "kube", "kb", "mirto",
+                                 "chaos"])
     # Files allowed to touch the global `random` / `np.random` modules.
     rng_allowlist: list[str] = field(
         default_factory=lambda: ["core/rng.py"])
@@ -40,7 +41,13 @@ class AnalysisConfig:
     # Files allowed to print() (rendering CLIs). Telemetry everywhere
     # else must flow through repro.obs (spans/metrics/trace).
     print_allowlist: list[str] = field(
-        default_factory=lambda: ["analysis/cli.py", "obs/cli.py"])
+        default_factory=lambda: ["analysis/cli.py", "obs/cli.py",
+                                 "chaos/cli.py"])
+    # Call sites still permitted to use the deprecated context shims
+    # (ensure_context / as_simulator). Empty by default: new code goes
+    # through RuntimeContext.adopt; the shims survive only inside
+    # runtime/ itself (built-in) and tests.
+    context_shim_allowlist: list[str] = field(default_factory=list)
     baseline: str = "analysis-baseline.json"
 
     def is_excluded(self, rel_path: str) -> bool:
@@ -78,6 +85,23 @@ class AnalysisConfig:
                 return True
         return False
 
+    def is_context_shim_allowed(self, rel_path: str) -> bool:
+        """May this file still call the deprecated context shims?
+
+        ``runtime/`` (where the shims live) and test trees are always
+        allowed; other entries use the print-allowlist semantics.
+        """
+        rel = rel_path.replace("\\", "/")
+        if "/runtime/" in f"/{rel}" or "/tests/" in f"/{rel}":
+            return True
+        for entry in self.context_shim_allowlist:
+            if entry.endswith("/"):
+                if f"/{entry.strip('/')}/" in f"/{rel}":
+                    return True
+            elif rel.endswith(entry):
+                return True
+        return False
+
     def rule_enabled(self, rule_id: str) -> bool:
         return rule_id not in self.disable
 
@@ -108,7 +132,9 @@ def load_config(root: str | Path | None = None) -> AnalysisConfig:
                       ("simulation-packages", "simulation_packages"),
                       ("rng-allowlist", "rng_allowlist"),
                       ("runtime-allowlist", "runtime_allowlist"),
-                      ("print-allowlist", "print_allowlist")):
+                      ("print-allowlist", "print_allowlist"),
+                      ("context-shim-allowlist",
+                       "context_shim_allowlist")):
         value = table.get(key)
         if isinstance(value, list):
             setattr(config, attr, [str(v) for v in value])

@@ -1,0 +1,81 @@
+"""Chaos engineering for the MYRTUS continuum reproduction.
+
+The paper's KPI table commits the orchestration stack to "improved
+reliability"; this package is how the repo *proves* it. Three layers:
+
+- :mod:`repro.chaos.actions` + :mod:`repro.chaos.campaign` — declarative
+  campaigns of typed chaos actions (zone outages, link degradation,
+  partitions, gateway brownouts, device flapping, latency inflation)
+  scheduled on the shared DES clock and seeded from the context RNG
+  tree, so a campaign replays byte-identically.
+- :mod:`repro.chaos.policies` — the resilience the stack fights back
+  with: retry with seeded backoff, timeouts, circuit breakers (also
+  driven by the kube control plane around binds) and hedged requests.
+- :mod:`repro.chaos.scorecard` + the ``repro-chaos`` CLI — campaign
+  runs across N seeds reduced to a deterministic JSON scorecard
+  (availability, MTTR, tasks lost/recovered, SLO violations,
+  degradation time) that CI diffs against a committed baseline.
+
+Every action's blast radius is one causal span tree
+(``chaos.action.begin → continuum.fault.inject → mirto.mape.cycle →
+kube.bind``), inspectable with ``repro-obs tree``.
+"""
+
+from repro.chaos.actions import (
+    ChaosAction,
+    DeviceFlap,
+    DeviceOutage,
+    GatewayBrownout,
+    LatencyInflation,
+    LinkDegradation,
+    NetworkPartition,
+    ZoneOutage,
+)
+from repro.chaos.campaign import CampaignRunner, ChaosCampaign
+from repro.chaos.controller import ChaosController
+from repro.chaos.policies import (
+    CallTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    Hedge,
+    Policy,
+    PolicyError,
+    RetriesExhausted,
+    RetryPolicy,
+    Timeout,
+)
+from repro.chaos.scorecard import (
+    build_campaign,
+    render_report,
+    run_scenario,
+    score_run,
+    scorecard,
+)
+
+__all__ = [
+    "CallTimeout",
+    "CampaignRunner",
+    "ChaosAction",
+    "ChaosCampaign",
+    "ChaosController",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeviceFlap",
+    "DeviceOutage",
+    "GatewayBrownout",
+    "Hedge",
+    "LatencyInflation",
+    "LinkDegradation",
+    "NetworkPartition",
+    "Policy",
+    "PolicyError",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "Timeout",
+    "ZoneOutage",
+    "build_campaign",
+    "render_report",
+    "run_scenario",
+    "score_run",
+    "scorecard",
+]

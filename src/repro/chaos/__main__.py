@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.chaos``."""
+
+import sys
+
+from repro.chaos.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

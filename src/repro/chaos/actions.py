@@ -1,0 +1,189 @@
+"""Typed chaos actions: the vocabulary of a declarative campaign.
+
+Each action is a frozen dataclass describing *what* to break, *when*
+(``at_s`` relative to campaign start) and *for how long*
+(``duration_s``). Actions compile to a sequence of timed *mutations* —
+``(delay_s, phase, thunk)`` triples executed by the campaign runner —
+so an action with internal structure (a brownout ramp, a flapping
+device) still replays deterministically from its declaration alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, ClassVar, Iterator
+
+Mutation = tuple[float, str, Callable[[], Any]]
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """Base action: a begin mutation and, if ``duration_s`` > 0, an end.
+
+    Subclasses implement :meth:`apply` / :meth:`revert` against a
+    :class:`~repro.chaos.controller.ChaosController`, or override
+    :meth:`mutations` entirely for multi-step behaviour.
+    """
+
+    kind: ClassVar[str] = "noop"
+
+    at_s: float = 0.0
+    duration_s: float = 0.0
+
+    def describe(self) -> dict[str, Any]:
+        """Declarative form of the action, for traces and scorecards."""
+        data = {k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in asdict(self).items()}
+        data["kind"] = self.kind
+        return data
+
+    def apply(self, controller) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def revert(self, controller) -> None:
+        """Undo :meth:`apply`; default is a no-op for one-shot actions."""
+
+    def mutations(self, controller) -> Iterator[Mutation]:
+        """Timed mutation sequence, delays relative to the previous one."""
+        yield 0.0, "begin", lambda: self.apply(controller)
+        if self.duration_s > 0:
+            yield self.duration_s, "end", lambda: self.revert(controller)
+
+
+@dataclass(frozen=True)
+class ZoneOutage(ChaosAction):
+    """Correlated outage: every device in *zone* fails at once.
+
+    ``zone`` is a continuum layer name (``edge``/``fog``/``cloud``) or
+    a device-name prefix (``mc-00`` takes out all site-0 multicores).
+    """
+
+    kind: ClassVar[str] = "zone-outage"
+
+    zone: str = ""
+
+    def apply(self, controller) -> None:
+        controller.fail_zone(self.zone)
+
+    def revert(self, controller) -> None:
+        controller.repair_zone(self.zone)
+
+
+@dataclass(frozen=True)
+class DeviceOutage(ChaosAction):
+    """One device fails, then (after ``duration_s``) is repaired."""
+
+    kind: ClassVar[str] = "device-outage"
+
+    device: str = ""
+
+    def apply(self, controller) -> None:
+        controller.fail_device(self.device)
+
+    def revert(self, controller) -> None:
+        controller.repair_device(self.device)
+
+
+@dataclass(frozen=True)
+class LinkDegradation(ChaosAction):
+    """Degrade one link: inflate latency, shrink bandwidth."""
+
+    kind: ClassVar[str] = "link-degradation"
+
+    a: str = ""
+    b: str = ""
+    latency_factor: float = 10.0
+    bandwidth_factor: float = 0.1
+
+    def apply(self, controller) -> None:
+        controller.degrade_link(self.a, self.b,
+                                latency_factor=self.latency_factor,
+                                bandwidth_factor=self.bandwidth_factor)
+
+    def revert(self, controller) -> None:
+        controller.restore_link(self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NetworkPartition(ChaosAction):
+    """Cut every link between two device groups (zones or names)."""
+
+    kind: ClassVar[str] = "network-partition"
+
+    group_a: tuple[str, ...] = ()
+    group_b: tuple[str, ...] = ()
+
+    def apply(self, controller) -> None:
+        controller.partition(self.group_a, self.group_b)
+
+    def revert(self, controller) -> None:
+        controller.heal_partition()
+
+
+@dataclass(frozen=True)
+class GatewayBrownout(ChaosAction):
+    """Ramp a gateway's in-flight drop rate up to a peak and back down.
+
+    The ramp has ``ramp_steps`` levels up and the mirror image down,
+    dwelling ``duration_s / (2 * ramp_steps - 1)`` at each level, so the
+    whole brownout fits exactly in ``duration_s``.
+    """
+
+    kind: ClassVar[str] = "gateway-brownout"
+
+    gateway: str = ""
+    peak_drop_rate: float = 0.8
+    ramp_steps: int = 4
+
+    def mutations(self, controller) -> Iterator[Mutation]:
+        steps = max(1, self.ramp_steps)
+        dwell = self.duration_s / max(1, 2 * steps - 1)
+        for i in range(1, steps + 1):
+            rate = self.peak_drop_rate * i / steps
+            yield (0.0 if i == 1 else dwell,
+                   "begin" if i == 1 else "ramp-up",
+                   lambda r=rate: controller.set_gateway_drop_rate(
+                       self.gateway, r))
+        for i in range(steps - 1, 0, -1):
+            rate = self.peak_drop_rate * i / steps
+            yield (dwell, "ramp-down",
+                   lambda r=rate: controller.set_gateway_drop_rate(
+                       self.gateway, r))
+        yield (dwell, "end",
+               lambda: controller.set_gateway_drop_rate(self.gateway, 0.0))
+
+
+@dataclass(frozen=True)
+class DeviceFlap(ChaosAction):
+    """Fail/repair one device ``cycles`` times within ``duration_s``."""
+
+    kind: ClassVar[str] = "device-flap"
+
+    device: str = ""
+    cycles: int = 3
+
+    def mutations(self, controller) -> Iterator[Mutation]:
+        cycles = max(1, self.cycles)
+        half = (self.duration_s / cycles) / 2.0
+        for cycle in range(cycles):
+            yield (0.0 if cycle == 0 else half,
+                   "begin" if cycle == 0 else "fail",
+                   lambda: controller.fail_device(self.device))
+            yield (half,
+                   "end" if cycle == cycles - 1 else "repair",
+                   lambda: controller.repair_device(self.device))
+
+
+@dataclass(frozen=True)
+class LatencyInflation(ChaosAction):
+    """Inflate latency on every link in the topology by ``factor``."""
+
+    kind: ClassVar[str] = "latency-inflation"
+
+    factor: float = 5.0
+
+    def apply(self, controller) -> None:
+        controller.inflate_latency(self.factor)
+
+    def revert(self, controller) -> None:
+        controller.restore_latency()

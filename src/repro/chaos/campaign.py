@@ -1,0 +1,128 @@
+"""Declarative chaos campaigns scheduled on the shared DES clock.
+
+A :class:`ChaosCampaign` is a named list of
+:class:`~repro.chaos.actions.ChaosAction`s; the
+:class:`CampaignRunner` compiles each action's mutation sequence into
+one DES process, optionally jittering start times from the context seed
+tree (same seed → identical campaign). Every action opens a
+``chaos.action.begin`` root span and executes all of its mutations
+*resumed* under that span, so the whole blast radius — fault injection,
+kube evictions, MAPE reactions, re-binds — hangs off one causal tree::
+
+    chaos.action.begin → continuum.fault.inject → kube.evict
+                       → mirto.mape.cycle → kube.bind
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.actions import ChaosAction
+from repro.chaos.controller import ChaosController
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class ChaosCampaign:
+    """A named, ordered set of chaos actions.
+
+    ``time_jitter_s`` > 0 adds a seeded uniform offset in
+    ``[0, time_jitter_s]`` to each action's start — deterministic for a
+    given context seed, different across seeds, which is what the
+    multi-seed scorecard wants.
+    """
+
+    name: str
+    actions: list[ChaosAction] = field(default_factory=list)
+    time_jitter_s: float = 0.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("campaign needs a name")
+        if self.time_jitter_s < 0:
+            raise ConfigurationError("time jitter must be >= 0")
+
+    def add(self, action: ChaosAction) -> "ChaosCampaign":
+        """Append *action*; returns self for chaining."""
+        self.actions.append(action)
+        return self
+
+    def describe(self) -> dict:
+        """Declarative form of the whole campaign."""
+        return {"name": self.name,
+                "time_jitter_s": self.time_jitter_s,
+                "actions": [a.describe() for a in self.actions]}
+
+
+class CampaignRunner:
+    """Drives one campaign's actions as DES processes."""
+
+    def __init__(self, campaign: ChaosCampaign,
+                 controller: ChaosController):
+        self.campaign = campaign
+        self.controller = controller
+        self.ctx = controller.ctx
+        self.sim = self.ctx.sim
+        self._jitter_rng = self.ctx.rng.python(
+            f"chaos.campaign.{campaign.name}")
+        self.completed = None
+        #: (time_s, action kind, phase) log of executed mutations.
+        self.executed: list[tuple[float, str, str]] = []
+
+    def schedule(self) -> None:
+        """Arm one DES process per action at its (jittered) start."""
+        procs = []
+        for index, action in enumerate(self.campaign.actions):
+            at = action.at_s
+            if self.campaign.time_jitter_s > 0:
+                at += self._jitter_rng.uniform(
+                    0.0, self.campaign.time_jitter_s)
+            procs.append(self.sim.process(
+                self._drive(action, index, at),
+                name=f"chaos-{self.campaign.name}-{index}"))
+        self.ctx.publish("chaos.campaign.begin", {
+            "campaign": self.campaign.name,
+            "actions": len(procs), "time_s": self.ctx.now})
+        self.completed = self.sim.all_of(procs)
+        self.completed.add_callback(self._finish)
+
+    def _finish(self, event) -> None:
+        status = "ok" if event._ok else "error"
+        event._defused = True
+        self.ctx.publish("chaos.campaign.end", {
+            "campaign": self.campaign.name, "status": status,
+            "time_s": self.ctx.now})
+
+    def _drive(self, action: ChaosAction, index: int, at_s: float):
+        if at_s > 0:
+            yield self.sim.timeout(at_s)
+        tracer = self.ctx.tracer
+        begun = False
+        begin_context = None
+        for delay, phase, thunk in action.mutations(self.controller):
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            payload = {"campaign": self.campaign.name,
+                       "action": action.kind, "index": index,
+                       "phase": phase, "time_s": self.ctx.now,
+                       **action.describe()}
+            if not begun:
+                begun = True
+                # The begin span is the causal root of everything this
+                # action breaks; fault-inject spans open with root=True,
+                # which only a *resumed* scope overrides, so every
+                # mutation thunk runs resumed under it.
+                with tracer.start_span(
+                        "chaos.action.begin", layer="chaos", root=True,
+                        campaign=self.campaign.name, action=action.kind,
+                        index=index) as span:
+                    begin_context = getattr(span, "context", None)
+                    self.ctx.publish("chaos.action.begin", payload)
+                    with tracer.resume(begin_context):
+                        thunk()
+            else:
+                with tracer.resume(begin_context):
+                    self.ctx.publish(f"chaos.action.{phase}", payload)
+                    thunk()
+            self.executed.append((self.ctx.now, action.kind, phase))
+        return action.kind

@@ -1,0 +1,116 @@
+"""``repro-chaos``: run chaos campaigns and score the outcome.
+
+Subcommands::
+
+    repro-chaos run --campaign smoke --seed 7        # one seed
+    repro-chaos run --campaign full --seeds 3        # seeds 0..2
+    repro-chaos run --check baseline.json            # CI gate
+    repro-chaos list                                 # campaign catalogue
+
+``run`` prints the deterministic scorecard JSON (same seed → identical
+bytes); ``--check`` compares against a committed baseline report and
+exits non-zero on drift, which is how CI catches accidental changes to
+campaign semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos.scorecard import build_campaign, render_report, scorecard
+from repro.core.errors import ReproError
+
+CAMPAIGNS = ("smoke", "full")
+
+
+def _cmd_list(_args) -> int:
+    for name in CAMPAIGNS:
+        campaign = build_campaign(name)
+        print(f"{name}: {len(campaign.actions)} actions")
+        for action in campaign.actions:
+            desc = action.describe()
+            kind = desc.pop("kind")
+            at = desc.pop("at_s")
+            duration = desc.pop("duration_s")
+            rest = ", ".join(f"{k}={v}" for k, v in sorted(desc.items()))
+            print(f"  t={at:>5.1f}s +{duration:>4.1f}s  {kind}  {rest}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    seeds = [args.seed + i for i in range(args.seeds)]
+    report = scorecard(args.campaign, seeds, horizon_s=args.horizon)
+    rendered = render_report(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    if args.check:
+        with open(args.check, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        if baseline != report:
+            drifted = _drifted_keys(baseline, report)
+            print(f"scorecard drift vs {args.check}: "
+                  f"{', '.join(drifted) or 'structure changed'}",
+                  file=sys.stderr)
+            return 1
+        print(f"scorecard matches {args.check}")
+    return 0
+
+
+def _drifted_keys(baseline, report, prefix="") -> list[str]:
+    if not isinstance(baseline, dict) or not isinstance(report, dict):
+        return [prefix or "<root>"] if baseline != report else []
+    drifted = []
+    for key in sorted(set(baseline) | set(report)):
+        path = f"{prefix}.{key}" if prefix else key
+        if key not in baseline or key not in report:
+            drifted.append(path)
+        elif baseline[key] != report[key]:
+            drifted.extend(_drifted_keys(baseline[key], report[key],
+                                         path))
+    return drifted
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Chaos campaigns and resilience scorecards for the "
+                    "MYRTUS continuum reproduction.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a campaign and print the "
+                                     "scorecard JSON")
+    run.add_argument("--campaign", default="smoke", choices=CAMPAIGNS)
+    run.add_argument("--seed", type=int, default=7,
+                     help="first seed (default 7)")
+    run.add_argument("--seeds", type=int, default=1,
+                     help="number of consecutive seeds (default 1)")
+    run.add_argument("--horizon", type=float, default=40.0,
+                     help="simulated horizon in seconds")
+    run.add_argument("--out", help="write the report to a file")
+    run.add_argument("--check",
+                     help="compare against a baseline report; exit 1 "
+                          "on drift")
+    run.set_defaults(func=_cmd_run)
+
+    lst = sub.add_parser("list", help="show the campaign catalogue")
+    lst.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

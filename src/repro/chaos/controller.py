@@ -1,0 +1,171 @@
+"""ChaosController: one imperative facade over every fault surface.
+
+Campaign actions never reach into subsystems directly — they go through
+the controller, which unifies device fault injection
+(:class:`~repro.continuum.faults.FaultInjector`), network link state
+(:meth:`~repro.net.topology.Network.set_link_state`) and gateway
+brownouts behind one API. That keeps actions declarative and gives
+tests a single seam for asserting what a campaign actually did.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import NotFoundError
+from repro.continuum.devices import Layer
+from repro.continuum.faults import FaultInjector, ReliabilityTracker
+from repro.continuum.gateway import GatewayHub
+from repro.continuum.infrastructure import Infrastructure
+
+_LAYER_VALUES = {layer.value for layer in Layer}
+
+
+class ChaosController:
+    """Imperative chaos surface over one infrastructure.
+
+    Wraps (or creates) a :class:`FaultInjector` for device faults —
+    without starting its stochastic processes — and adds link, zone,
+    partition and gateway mutations on top.
+    """
+
+    def __init__(self, infrastructure: Infrastructure, *,
+                 injector: FaultInjector | None = None):
+        self.infrastructure = infrastructure
+        self.ctx = infrastructure.ctx
+        self.network = infrastructure.network
+        self.injector = injector or FaultInjector(infrastructure)
+        self.gateways: dict[str, GatewayHub] = {}
+        self._partition_cut: list[tuple[str, str]] = []
+        self._inflated = False
+
+    @property
+    def tracker(self) -> ReliabilityTracker:
+        """Reliability accounting shared with the fault injector."""
+        return self.injector.tracker
+
+    # -- device faults -------------------------------------------------------
+
+    def fail_device(self, name: str) -> None:
+        """Fail *name* now (idempotent: already-failed is a no-op)."""
+        if not self.infrastructure.device(name).failed:
+            self.injector.inject_now(name)
+
+    def repair_device(self, name: str) -> None:
+        """Repair *name* now (idempotent)."""
+        if self.infrastructure.device(name).failed:
+            self.injector.repair_now(name)
+
+    def zone_devices(self, zone: str) -> list[str]:
+        """Devices in *zone*: a layer name or a device-name prefix."""
+        if zone in _LAYER_VALUES:
+            return [d.name for d in self.infrastructure.devices.values()
+                    if d.spec.layer.value == zone]
+        members = [name for name in self.infrastructure.devices
+                   if name.startswith(zone)]
+        if not members:
+            raise NotFoundError(f"zone {zone!r} matches no devices")
+        return members
+
+    def fail_zone(self, zone: str) -> list[str]:
+        """Correlated outage: fail every device in *zone*."""
+        failed = self.zone_devices(zone)
+        for name in failed:
+            self.fail_device(name)
+        self.ctx.publish("chaos.zone.fail", {
+            "zone": zone, "devices": failed, "time_s": self.ctx.now})
+        return failed
+
+    def repair_zone(self, zone: str) -> list[str]:
+        """Repair every device in *zone*."""
+        repaired = self.zone_devices(zone)
+        for name in repaired:
+            self.repair_device(name)
+        self.ctx.publish("chaos.zone.repair", {
+            "zone": zone, "devices": repaired, "time_s": self.ctx.now})
+        return repaired
+
+    # -- network -------------------------------------------------------------
+
+    def degrade_link(self, a: str, b: str, *, latency_factor: float = 10.0,
+                     bandwidth_factor: float = 0.1) -> None:
+        self.network.set_link_state(a, b, latency_factor=latency_factor,
+                                    bandwidth_factor=bandwidth_factor)
+
+    def restore_link(self, a: str, b: str) -> None:
+        self.network.set_link_state(a, b, latency_factor=1.0,
+                                    bandwidth_factor=1.0)
+
+    def _expand(self, group: tuple[str, ...]) -> set[str]:
+        names: set[str] = set()
+        for entry in group:
+            if entry in self.infrastructure.devices:
+                names.add(entry)
+            else:
+                names.update(self.zone_devices(entry))
+        return names
+
+    def partition(self, group_a: tuple[str, ...],
+                  group_b: tuple[str, ...]) -> list[tuple[str, str]]:
+        """Cut every up link crossing between the two groups."""
+        side_a = self._expand(group_a)
+        side_b = self._expand(group_b)
+        cut: list[tuple[str, str]] = []
+        for link in self.network.links:
+            if not link.up:
+                continue
+            crosses = (link.a in side_a and link.b in side_b) or \
+                (link.a in side_b and link.b in side_a)
+            if crosses:
+                self.network.set_link_state(link.a, link.b, up=False)
+                cut.append((link.a, link.b))
+        self._partition_cut.extend(cut)
+        self.ctx.publish("chaos.net.partition", {
+            "cut": sorted(cut), "time_s": self.ctx.now})
+        return cut
+
+    def heal_partition(self) -> int:
+        """Restore every link cut by previous :meth:`partition` calls."""
+        healed = 0
+        while self._partition_cut:
+            a, b = self._partition_cut.pop()
+            self.network.set_link_state(a, b, up=True)
+            healed += 1
+        if healed:
+            self.ctx.publish("chaos.net.heal", {
+                "links": healed, "time_s": self.ctx.now})
+        return healed
+
+    def inflate_latency(self, factor: float) -> None:
+        """Multiply every link's latency by *factor*."""
+        for link in self.network.links:
+            self.network.set_link_state(link.a, link.b,
+                                        latency_factor=factor)
+        self._inflated = True
+
+    def restore_latency(self) -> None:
+        if not self._inflated:
+            return
+        for link in self.network.links:
+            self.network.set_link_state(link.a, link.b, latency_factor=1.0)
+        self._inflated = False
+
+    # -- gateways ------------------------------------------------------------
+
+    def register_gateway(self, hub: GatewayHub) -> None:
+        """Make *hub* addressable by brownout actions."""
+        self.gateways[hub.name] = hub
+
+    def set_gateway_drop_rate(self, name: str, rate: float) -> None:
+        if name not in self.gateways:
+            raise NotFoundError(f"gateway {name!r} not registered "
+                                f"with the chaos controller")
+        self.gateways[name].set_drop_rate(rate)
+
+    # -- campaigns -----------------------------------------------------------
+
+    def run_campaign(self, campaign):
+        """Schedule *campaign* against this controller; returns the
+        :class:`~repro.chaos.campaign.CampaignRunner`."""
+        from repro.chaos.campaign import CampaignRunner
+        runner = CampaignRunner(campaign, self)
+        runner.schedule()
+        return runner

@@ -1,0 +1,300 @@
+"""Resilience policies: retry, timeout, circuit breaker, hedging.
+
+The MYRTUS KPIs promise "improved reliability" under faults; the chaos
+campaigns in this package deliberately break things, and these policies
+are what the rest of the stack uses to survive them. Each policy wraps
+a *call factory* — a zero-argument callable returning a fresh DES
+generator (so retries and hedges can re-issue the work) — and is itself
+driven as a generator::
+
+    policy = RetryPolicy(ctx=ctx, inner=Timeout(ctx=ctx, limit_s=0.5))
+    result = yield from policy.call(lambda: hub.exchange(...))
+
+Policies compose through ``inner``: the outermost policy sees the
+composite behaviour of everything below it. All randomness (retry
+jitter) comes from the context seed tree, so a chaos campaign replays
+byte-identically for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.core.errors import ConfigurationError, ReproError
+from repro.continuum.simulator import Event, Process, Simulator
+from repro.runtime import RuntimeContext
+
+CallFactory = Callable[[], Generator]
+
+
+class PolicyError(ReproError):
+    """Base class for failures raised by resilience policies."""
+
+
+class RetriesExhausted(PolicyError):
+    """Every retry attempt failed; the last cause is chained."""
+
+
+class CallTimeout(PolicyError):
+    """The wrapped call exceeded its time limit."""
+
+
+class CircuitOpenError(PolicyError):
+    """The circuit breaker rejected the call without attempting it."""
+
+
+def _defuse(event: Event) -> None:
+    """Neutralize an abandoned event's failure.
+
+    ``AnyOf`` only defuses the failure that *fails it*; children that
+    fail after the race is decided (a timed-out attempt, a hedge loser
+    we interrupted) would otherwise crash ``sim.run``.
+    """
+    if event._ok is False:
+        event._defused = True
+
+
+def _call_factory(policy: "Policy | None", factory: CallFactory) -> Generator:
+    """One fresh invocation generator, threading through *policy*."""
+    if policy is None:
+        return factory()
+    return policy.call(factory)
+
+
+class Policy:
+    """Base resilience policy.
+
+    ``inner`` nests another policy inside this one (e.g. a retry around
+    a timeout). Subclasses implement :meth:`call` as a generator
+    delegated to with ``yield from``.
+    """
+
+    def __init__(self, *, ctx: "RuntimeContext | Simulator | None" = None,
+                 inner: "Policy | None" = None, name: str = "policy"):
+        self.ctx = RuntimeContext.adopt(ctx)
+        self.sim = self.ctx.sim
+        self.inner = inner
+        self.name = name
+
+    def call(self, factory: CallFactory) -> Generator:
+        raise NotImplementedError
+
+    def _spawn(self, factory: CallFactory, label: str) -> Process:
+        return self.sim.process(_call_factory(self.inner, factory),
+                                name=f"{self.name}-{label}")
+
+
+class RetryPolicy(Policy):
+    """Retry with exponential backoff and seeded jitter.
+
+    Attempts the call up to ``max_attempts`` times; between attempts it
+    sleeps ``base_delay_s * multiplier^k`` scaled by a jitter factor in
+    ``[1, 1 + jitter]`` drawn from the context seed tree. Exceptions not
+    matching ``retry_on`` propagate immediately; when every attempt
+    fails, :class:`RetriesExhausted` chains the last cause.
+    """
+
+    def __init__(self, *, ctx: "RuntimeContext | Simulator | None" = None,
+                 max_attempts: int = 3, base_delay_s: float = 0.05,
+                 multiplier: float = 2.0, jitter: float = 0.5,
+                 retry_on: tuple[type, ...] = (ReproError,),
+                 name: str = "retry", inner: "Policy | None" = None):
+        super().__init__(ctx=ctx, inner=inner, name=name)
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if base_delay_s < 0 or multiplier <= 0 or jitter < 0:
+            raise ConfigurationError(
+                "backoff parameters must be non-negative "
+                "(multiplier positive)")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.jitter = jitter
+        self.retry_on = retry_on
+        self._rng = self.ctx.rng.python(f"chaos.policy.{name}")
+        self.attempts = 0
+        self.retries = 0
+
+    def call(self, factory: CallFactory) -> Generator:
+        delay = self.base_delay_s
+        for attempt in range(1, self.max_attempts + 1):
+            self.attempts += 1
+            try:
+                result = yield self._spawn(factory, f"attempt-{attempt}")
+            except self.retry_on as exc:
+                if attempt == self.max_attempts:
+                    raise RetriesExhausted(
+                        f"policy {self.name!r}: {self.max_attempts} "
+                        f"attempts failed") from exc
+                self.retries += 1
+                sleep = delay * (1.0 + self.jitter * self._rng.random())
+                self.ctx.publish("chaos.policy.retry", {
+                    "policy": self.name, "attempt": attempt,
+                    "delay_s": sleep, "error": type(exc).__name__})
+                yield self.sim.timeout(sleep)
+                delay *= self.multiplier
+            else:
+                return result
+
+
+class Timeout(Policy):
+    """Abandon the call after ``limit_s`` of simulated time.
+
+    The abandoned attempt is interrupted and its eventual failure
+    defused; the caller sees :class:`CallTimeout`.
+    """
+
+    def __init__(self, *, ctx: "RuntimeContext | Simulator | None" = None,
+                 limit_s: float = 1.0, name: str = "timeout",
+                 inner: "Policy | None" = None):
+        super().__init__(ctx=ctx, inner=inner, name=name)
+        if limit_s <= 0:
+            raise ConfigurationError("timeout limit must be positive")
+        self.limit_s = limit_s
+        self.timeouts = 0
+
+    def call(self, factory: CallFactory) -> Generator:
+        attempt = self._spawn(factory, "attempt")
+        attempt.add_callback(_defuse)
+        timer = self.sim.timeout(self.limit_s)
+        fired = yield self.sim.any_of([attempt, timer])
+        if attempt in fired:
+            return fired[attempt]
+        attempt.interrupt("timeout")
+        self.timeouts += 1
+        self.ctx.publish("chaos.policy.timeout", {
+            "policy": self.name, "limit_s": self.limit_s,
+            "time_s": self.ctx.now})
+        raise CallTimeout(
+            f"policy {self.name!r}: call exceeded {self.limit_s}s")
+
+
+class CircuitBreaker(Policy):
+    """Classic closed → open → half-open breaker on the DES clock.
+
+    ``failure_threshold`` consecutive failures open the circuit; while
+    open, calls fail fast with :class:`CircuitOpenError`. After
+    ``recovery_time_s`` the breaker admits a single half-open probe:
+    success closes the circuit, failure re-opens it. State transitions
+    are recorded (for scorecards) and published on the bus as
+    ``chaos.breaker.state``.
+
+    The breaker can also be used without :meth:`call` — the kube
+    control plane drives :meth:`allow` / :meth:`record_success` /
+    :meth:`record_failure` directly around bind/evict decisions.
+    """
+
+    def __init__(self, *, ctx: "RuntimeContext | Simulator | None" = None,
+                 failure_threshold: int = 3, recovery_time_s: float = 30.0,
+                 name: str = "breaker", inner: "Policy | None" = None):
+        super().__init__(ctx=ctx, inner=inner, name=name)
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if recovery_time_s <= 0:
+            raise ConfigurationError("recovery_time_s must be positive")
+        self.failure_threshold = failure_threshold
+        self.recovery_time_s = recovery_time_s
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.transitions: list[tuple[float, str]] = [
+            (self.ctx.now, "closed")]
+        self.rejected = 0
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        self.transitions.append((self.ctx.now, state))
+        self.ctx.publish("chaos.breaker.state", {
+            "breaker": self.name, "state": state,
+            "time_s": self.ctx.now})
+
+    def allow(self) -> bool:
+        """Would the breaker admit a call right now?
+
+        Moving from open to half-open happens here (lazily, on the DES
+        clock); in half-open only one probe is admitted at a time.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self.ctx.now < self._opened_at + self.recovery_time_s:
+                return False
+            self._transition("half-open")
+            self._probing = False
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._probing = False
+        self._transition("closed")
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            self._probing = False
+            self._opened_at = self.ctx.now
+            self._transition("open")
+        elif self.state == "closed" \
+                and self.consecutive_failures >= self.failure_threshold:
+            self._opened_at = self.ctx.now
+            self._transition("open")
+
+    def call(self, factory: CallFactory) -> Generator:
+        if not self.allow():
+            self.rejected += 1
+            raise CircuitOpenError(
+                f"breaker {self.name!r} is {self.state}")
+        try:
+            result = yield self._spawn(factory, "call")
+        except ReproError:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+
+class Hedge(Policy):
+    """Launch a backup attempt when the primary is slow.
+
+    If the primary has not completed within ``delay_s``, a second
+    identical attempt races it; the first completion wins and (by
+    default) the loser is interrupted. Hedging covers *slowness*, not
+    failure — a failed attempt propagates; compose with
+    :class:`RetryPolicy` to also cover failures.
+    """
+
+    def __init__(self, *, ctx: "RuntimeContext | Simulator | None" = None,
+                 delay_s: float = 0.1, cancel_loser: bool = True,
+                 name: str = "hedge", inner: "Policy | None" = None):
+        super().__init__(ctx=ctx, inner=inner, name=name)
+        if delay_s <= 0:
+            raise ConfigurationError("hedge delay must be positive")
+        self.delay_s = delay_s
+        self.cancel_loser = cancel_loser
+        self.hedged = 0
+
+    def call(self, factory: CallFactory) -> Generator:
+        primary = self._spawn(factory, "primary")
+        primary.add_callback(_defuse)
+        timer = self.sim.timeout(self.delay_s)
+        fired = yield self.sim.any_of([primary, timer])
+        if primary in fired:
+            return fired[primary]
+        self.hedged += 1
+        self.ctx.publish("chaos.policy.hedge", {
+            "policy": self.name, "delay_s": self.delay_s,
+            "time_s": self.ctx.now})
+        secondary = self._spawn(factory, "secondary")
+        secondary.add_callback(_defuse)
+        fired = yield self.sim.any_of([primary, secondary])
+        winner = primary if primary in fired else secondary
+        loser = secondary if winner is primary else primary
+        if self.cancel_loser and loser.is_alive:
+            loser.interrupt("hedge-loser")
+        return fired[winner]

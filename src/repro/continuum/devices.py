@@ -23,7 +23,7 @@ from enum import Enum
 
 from repro.core.errors import CapacityError, ConfigurationError, NotFoundError
 from repro.continuum.simulator import Resource, Simulator
-from repro.runtime import as_simulator
+from repro.runtime import RuntimeContext
 from repro.continuum.workload import KernelClass, Task
 
 
@@ -236,8 +236,11 @@ class Device:
     time and energy follow the spec plus the active operating point.
     """
 
-    def __init__(self, sim: Simulator, name: str, spec: DeviceSpec,
-                 operating_points: tuple[OperatingPoint, ...] | None = None):
+    def __init__(self, name: str, spec: DeviceSpec,
+                 operating_points: tuple[OperatingPoint, ...] | None = None,
+                 *, ctx: "RuntimeContext | Simulator | None" = None):
+        self.ctx = RuntimeContext.adopt(ctx)
+        sim = self.ctx.sim
         self.sim = sim
         self.name = name
         self.spec = spec
@@ -430,13 +433,13 @@ class Device:
         return f"Device({self.name!r}, {self.spec.kind.value})"
 
 
-def make_device(sim, name: str, kind: DeviceKind,
+def make_device(name: str, kind: DeviceKind,
                 operating_points: tuple[OperatingPoint, ...] | None = None,
-                ) -> Device:
+                *, ctx=None) -> Device:
     """Instantiate a device of *kind* from the calibrated catalogue.
 
-    *sim* may be the canonical :class:`Simulator` or a
-    :class:`~repro.runtime.RuntimeContext` (its clock is used).
+    *ctx* may be a :class:`~repro.runtime.RuntimeContext`, the canonical
+    :class:`Simulator` (wrapped via :meth:`RuntimeContext.adopt`) or
+    None (a fresh context).
     """
-    return Device(as_simulator(sim), name, SPEC_CATALOGUE[kind],
-                  operating_points)
+    return Device(name, SPEC_CATALOGUE[kind], operating_points, ctx=ctx)

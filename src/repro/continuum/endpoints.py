@@ -14,10 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ReproError
 from repro.continuum.gateway import GatewayHub
 from repro.continuum.simulator import Simulator, Store
-from repro.runtime import as_simulator
+from repro.runtime import RuntimeContext
 
 
 @dataclass
@@ -36,15 +36,24 @@ class SensorProcess:
     ``sample_fn(sequence)`` produces the payload dict; publication pays
     the sensor's protocol and link costs. Stops after ``max_samples``
     or when :meth:`stop` is called.
+
+    An optional resilience ``policy`` (see ``repro.chaos.policies``)
+    wraps each exchange; exchanges the policy gives up on (retries
+    exhausted, circuit open, timeout) are counted in :attr:`lost`
+    instead of crashing the sensor — the graceful behaviour a chaos
+    campaign exercises.
     """
 
-    def __init__(self, sim: Simulator, hub: GatewayHub, name: str,
+    def __init__(self, hub: GatewayHub, name: str,
                  destination: str, topic: str,
                  sample_fn: Callable[[int], dict[str, Any]],
-                 period_s: float, max_samples: int | None = None):
+                 period_s: float, max_samples: int | None = None,
+                 *, ctx: "RuntimeContext | Simulator | None" = None,
+                 policy=None):
         if period_s <= 0:
             raise ConfigurationError("sensor period must be positive")
-        sim = as_simulator(sim)
+        self.ctx = RuntimeContext.adopt(ctx)
+        sim = self.ctx.sim
         self.sim = sim
         self.hub = hub
         self.name = name
@@ -53,12 +62,20 @@ class SensorProcess:
         self.sample_fn = sample_fn
         self.period_s = period_s
         self.max_samples = max_samples
+        self.policy = policy
         self.readings: list[SensorReading] = []
+        #: Exchanges abandoned by the resilience policy.
+        self.lost = 0
         self._running = True
         self.process = sim.process(self._run(), name=f"sensor-{name}")
 
     def stop(self) -> None:
         self._running = False
+
+    def _exchange(self, payload: dict[str, Any], sequence: int):
+        return self.hub.exchange(
+            self.name, self.destination, self.topic,
+            {**payload, "seq": sequence})
 
     def _run(self):
         sequence = 0
@@ -71,9 +88,14 @@ class SensorProcess:
                 sensor=self.name, sequence=sequence,
                 time_s=self.sim.now, payload=payload)
             self.readings.append(reading)
-            yield self.sim.process(self.hub.exchange(
-                self.name, self.destination, self.topic,
-                {**payload, "seq": sequence}))
+            if self.policy is None:
+                yield self.sim.process(self._exchange(payload, sequence))
+            else:
+                try:
+                    yield from self.policy.call(
+                        lambda: self._exchange(payload, sequence))
+                except ReproError:
+                    self.lost += 1
             sequence += 1
             yield self.sim.timeout(self.period_s)
         return sequence
@@ -96,11 +118,12 @@ class ActuatorProcess:
     """Consumes commands from a queue and 'actuates' after a fixed
     mechanical delay, recording end-to-end latency."""
 
-    def __init__(self, sim: Simulator, name: str,
-                 actuation_delay_s: float = 0.005):
+    def __init__(self, name: str, actuation_delay_s: float = 0.005, *,
+                 ctx: "RuntimeContext | Simulator | None" = None):
         if actuation_delay_s < 0:
             raise ConfigurationError("actuation delay must be >= 0")
-        sim = as_simulator(sim)
+        self.ctx = RuntimeContext.adopt(ctx)
+        sim = self.ctx.sim
         self.sim = sim
         self.name = name
         self.actuation_delay_s = actuation_delay_s

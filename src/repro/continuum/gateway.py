@@ -21,11 +21,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.core.errors import CapacityError, NotFoundError, ValidationError
+from repro.core.errors import CapacityError, DeliveryError, NotFoundError, \
+    ValidationError
 from repro.continuum.simulator import Simulator
 from repro.net.protocols import Message, PROTOCOLS, negotiate
 from repro.net.topology import Network
-from repro.runtime import RuntimeContext, ensure_context
+from repro.runtime import RuntimeContext
 
 
 @dataclass
@@ -58,11 +59,12 @@ Processor = Callable[[dict[str, Any]], dict[str, Any] | None]
 class GatewayHub:
     """Protocol-bridging, store-and-forward message hub."""
 
-    def __init__(self, ctx: RuntimeContext | Simulator, network: Network,
-                 name: str, buffer_limit: int = 256):
+    def __init__(self, network: Network, name: str,
+                 buffer_limit: int = 256, *,
+                 ctx: RuntimeContext | Simulator | None = None):
         if name not in network.graph:
             raise NotFoundError(f"gateway host {name!r} not in network")
-        self.ctx = ensure_context(ctx)
+        self.ctx = RuntimeContext.adopt(ctx)
         self.sim = self.ctx.sim
         self.network = network
         self.name = name
@@ -72,6 +74,12 @@ class GatewayHub:
         self.deliveries: list[DeliveryRecord] = []
         self.dropped = 0
         self._buffers: dict[str, deque[Message]] = {}
+        #: Chaos brownout: probability a delivery is dropped in flight.
+        #: Set via :meth:`set_drop_rate` (the ChaosController ramps it);
+        #: draws come from the hub's own seed-tree stream so campaigns
+        #: replay byte-identically.
+        self.drop_rate = 0.0
+        self._chaos_rng = self.ctx.rng.python(f"chaos.gateway.{name}")
         metrics = self.ctx.metrics
         self._deliveries_ctr = metrics.counter(
             "continuum.gateway.deliveries", "hub-mediated deliveries",
@@ -99,6 +107,17 @@ class GatewayHub:
     def set_reachable(self, name: str, reachable: bool) -> None:
         """Mark an endpoint (typically the uplink) up or down."""
         self._endpoint(name).reachable = reachable
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Set the brownout drop probability for in-flight deliveries.
+
+        Dropped deliveries raise :class:`DeliveryError` in the
+        exchanging process so resilience policies can retry them.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValidationError(
+                f"drop rate must be in [0, 1], got {rate}")
+        self.drop_rate = rate
 
     def _endpoint(self, name: str) -> Endpoint:
         if name not in self.endpoints:
@@ -179,6 +198,21 @@ class GatewayHub:
 
     def _deliver(self, message: Message, ingress_name: str, egress,
                  buffered: bool, original_src: str):
+        if self.drop_rate > 0.0 \
+                and self._chaos_rng.random() < self.drop_rate:
+            self.dropped += 1
+            self._dropped_ctr.inc(label=self.name)
+            with self.ctx.tracer.start_span(
+                    "continuum.gateway.drop", layer="continuum",
+                    gateway=self.name, dst=message.dst,
+                    topic=message.topic, reason="brownout"):
+                self.ctx.publish(
+                    f"continuum.gateway.{self.name}.dropped",
+                    {"dst": message.dst, "topic": message.topic,
+                     "reason": "brownout"})
+            raise DeliveryError(
+                f"gateway {self.name} dropped message to "
+                f"{message.dst!r} (brownout)")
         wire = egress.wire_bytes(message)
         yield self.sim.process(self.network.transfer(
             self.name, message.dst, len(message.encode()),

@@ -21,7 +21,7 @@ from repro.continuum.devices import (
 )
 from repro.continuum.simulator import Simulator
 from repro.net.topology import Network
-from repro.runtime import RuntimeContext, ensure_context
+from repro.runtime import RuntimeContext
 
 
 @dataclass
@@ -51,17 +51,18 @@ class OffloadStats:
 class Infrastructure:
     """A running continuum: devices, layers, and the connecting network.
 
-    Injected with a :class:`~repro.runtime.RuntimeContext` (a bare
-    :class:`Simulator` is still accepted and wrapped for legacy call
-    sites); the context's clock, bus and RNG tree are shared with every
-    other layer observing this infrastructure.
+    Injected with a keyword-only ``ctx=`` — a
+    :class:`~repro.runtime.RuntimeContext`, or a bare :class:`Simulator`
+    wrapped via :meth:`RuntimeContext.adopt` for legacy call sites; the
+    context's clock, bus and RNG tree are shared with every other layer
+    observing this infrastructure.
     """
 
-    def __init__(self, ctx: RuntimeContext | Simulator | None = None,
+    def __init__(self, *, ctx: RuntimeContext | Simulator | None = None,
                  network: Network | None = None):
-        self.ctx = ensure_context(ctx)
+        self.ctx = RuntimeContext.adopt(ctx)
         self.sim = self.ctx.sim
-        self.network = network or Network(self.ctx)
+        self.network = network or Network(ctx=self.ctx)
         self.devices: dict[str, Device] = {}
         self.offloads = OffloadStats()
         self._ids = IdGenerator()
@@ -98,7 +99,7 @@ class Infrastructure:
         name = name or self._ids.next(kind.value.replace("_", "-"))
         if name in self.devices:
             raise ValidationError(f"duplicate device name {name!r}")
-        device = make_device(self.sim, name, kind, operating_points)
+        device = make_device(name, kind, operating_points, ctx=self.ctx)
         self.devices[name] = device
         self.network.add_host(name, layer=device.spec.layer.value)
         if attach_to is not None:
@@ -222,7 +223,7 @@ def build_reference_infrastructure(ctx: RuntimeContext | Simulator | None
     RISC-V+CGRA device behind a smart gateway; gateways connect to the
     FMDC tier, which connects to the cloud.
     """
-    infra = Infrastructure(ctx)
+    infra = Infrastructure(ctx=ctx)
     cloud_names = []
     for i in range(cloud_servers):
         server = infra.add_device(DeviceKind.CLOUD_SERVER,

@@ -43,6 +43,14 @@ class NotFoundError(ReproError):
     """A referenced entity (node, key, template, ...) does not exist."""
 
 
+class DeliveryError(ReproError):
+    """A message could not be delivered (dropped, partitioned, timed out).
+
+    Raised inside gateway delivery processes so resilience policies
+    (``repro.chaos.policies``) can catch and retry it.
+    """
+
+
 class SecurityError(ReproError):
     """Authentication, authorization or cryptographic failure."""
 

@@ -56,12 +56,16 @@ class KubeCluster:
     timeline).
     """
 
-    def __init__(self, name: str, scheduler: Scheduler | None = None,
+    def __init__(self, name: str, scheduler: Scheduler | None = None, *,
                  bus: EventBus | None = None,
                  ctx: RuntimeContext | None = None):
         self.name = name
         self.scheduler = scheduler or Scheduler()
         self.ctx = ctx
+        # Per-node circuit breakers on the bind path; armed by
+        # enable_bind_breakers().
+        self._bind_breakers: dict | None = None
+        self._breaker_params: tuple[int, float] | None = None
         if bus is None:
             if self.ctx is None:
                 self.ctx = RuntimeContext()
@@ -177,13 +181,60 @@ class KubeCluster:
             raise OrchestrationError(
                 f"pod {pod.name} cannot run from phase {pod.phase.value}")
         pod.phase = PodPhase.RUNNING
+        if self._bind_breakers is not None and pod.node_name is not None:
+            breaker = self._bind_breakers.get(pod.node_name)
+            if breaker is not None:
+                breaker.record_success()
 
     def mark_finished(self, uid: str, succeeded: bool = True) -> None:
         """Terminal transition for batch pods."""
         pod = self.pods[uid]
         pod.phase = PodPhase.SUCCEEDED if succeeded else PodPhase.FAILED
 
+    # -- bind-path circuit breakers -----------------------------------------------
+
+    def enable_bind_breakers(self, failure_threshold: int = 3,
+                             recovery_time_s: float = 30.0) -> None:
+        """Arm per-node circuit breakers on the bind/evict path.
+
+        Every eviction records a failure against the pod's node; a node
+        whose breaker trips is excluded from scheduling until the
+        recovery window elapses, then probed half-open — the first pod
+        that reaches RUNNING on it closes the breaker again.
+        """
+        if self.ctx is None:
+            raise ConfigurationError(
+                "enable_bind_breakers() needs a RuntimeContext-injected "
+                "cluster (shared clock)")
+        self._bind_breakers = {}
+        self._breaker_params = (failure_threshold, recovery_time_s)
+
+    def bind_breaker(self, node_name: str):
+        """The (lazily created) circuit breaker guarding *node_name*."""
+        if self._bind_breakers is None:
+            raise ConfigurationError(
+                "bind breakers not enabled; call enable_bind_breakers()")
+        breaker = self._bind_breakers.get(node_name)
+        if breaker is None:
+            # Imported here: repro.chaos builds on kube, not vice versa.
+            from repro.chaos.policies import CircuitBreaker
+            threshold, recovery = self._breaker_params
+            breaker = CircuitBreaker(
+                ctx=self.ctx, failure_threshold=threshold,
+                recovery_time_s=recovery,
+                name=f"kube.{self.name}.{node_name}")
+            self._bind_breakers[node_name] = breaker
+        return breaker
+
+    def _breaker_allows(self, node_name: str) -> bool:
+        if self._bind_breakers is None:
+            return True
+        breaker = self._bind_breakers.get(node_name)
+        return breaker is None or breaker.allow()
+
     def _evict(self, pod: Pod, reason: str) -> None:
+        if self._bind_breakers is not None and pod.node_name is not None:
+            self.bind_breaker(pod.node_name).record_failure()
         with self._span("kube.evict", pod=pod.spec.name, reason=reason):
             pod.phase = PodPhase.PENDING
             pod.node_name = None
@@ -245,9 +296,12 @@ class KubeCluster:
                 if pod.phase is not PodPhase.PENDING:
                     continue
                 with self._span("kube.schedule", pod=pod.spec.name):
+                    candidates = list(self.nodes.values())
+                    if self._bind_breakers:
+                        candidates = [n for n in candidates
+                                      if self._breaker_allows(n.name)]
                     node, result = self.scheduler.select(
-                        pod.spec, list(self.nodes.values()),
-                        self.node_free)
+                        pod.spec, candidates, self.node_free)
                     if node is None:
                         pod.record(f"unschedulable: {result.rejections}")
                         self._emit(

@@ -24,7 +24,9 @@ from repro.runtime import RuntimeContext
 class Trigger:
     """Something the Analyze stage decided needs a reaction."""
 
-    kind: str  # "overload" | "underload" | "trust-drop"
+    # "overload" | "underload" | "trust-drop" | "fault" |
+    # "degrade" | "restore"
+    kind: str
     component: str
     detail: str
 
@@ -90,6 +92,15 @@ class MapeLoop:
         # ambient), consumed as the parent of the next MAPE cycle so
         # the asynchronous reaction stays in the fault's trace.
         self._pending_fault_parent = None
+        #: Chaos campaigns currently in progress (``chaos.campaign.*``
+        #: bus accounting). While non-zero, Analyze steps graceful
+        #: degradation in instead of chasing utilization triggers.
+        self.chaos_campaigns_active = 0
+        self._degraded: set[str] = set()
+        self._degradation_started: float | None = None
+        #: Total simulated time spent degraded (closed intervals only;
+        #: see :attr:`degradation_time_s` for the live value).
+        self._degradation_accum = 0.0
         metrics = self.ctx.metrics
         self._iterations = metrics.counter(
             "mirto.mape.iterations", "MAPE cycles run")
@@ -97,6 +108,7 @@ class MapeLoop:
             "mirto.mape.tick_latency_s",
             "sim-time duration of one MAPE cycle")
         self.ctx.subscribe("continuum.fault.*", self._on_fault)
+        self.ctx.subscribe("chaos.campaign.*", self._on_campaign)
 
     def _on_fault(self, topic: str, payload) -> None:
         device = (payload or {}).get("device", "?")
@@ -109,6 +121,22 @@ class MapeLoop:
             parent = self.ctx.tracer.capture()
             if parent is not None:
                 self._pending_fault_parent = parent
+
+    def _on_campaign(self, topic: str, payload) -> None:
+        kind = topic.rsplit(".", 1)[-1]
+        if kind == "begin":
+            self.chaos_campaigns_active += 1
+        elif kind == "end":
+            self.chaos_campaigns_active = max(
+                0, self.chaos_campaigns_active - 1)
+
+    @property
+    def degradation_time_s(self) -> float:
+        """Total simulated time applications spent stepped down."""
+        total = self._degradation_accum
+        if self._degradation_started is not None:
+            total += self.ctx.now - self._degradation_started
+        return total
 
     # -- the four stages -----------------------------------------------------
 
@@ -133,6 +161,45 @@ class MapeLoop:
         from the sensed telemetry.
         """
         triggers, self._pending_faults = self._pending_faults, []
+        if self.chaos_campaigns_active > 0:
+            # Graceful degradation: while a chaos campaign is running,
+            # utilization triggers would chase the injected turbulence;
+            # instead step every capable application device down to its
+            # low-power operating point and ride the storm out.
+            for name, device in self.infrastructure.devices.items():
+                if device.failed or name in self._degraded:
+                    continue
+                if "low-power" in device.operating_points:
+                    triggers.append(Trigger(
+                        "degrade", name, "chaos campaign in progress"))
+                    self._degraded.add(name)
+            if self._degraded and self._degradation_started is None:
+                self._degradation_started = self.ctx.now
+            for name in self.infrastructure.devices:
+                trust = self.manager.security.trust.trust(name)
+                if trust < self.trust_threshold:
+                    triggers.append(Trigger(
+                        "trust-drop", name, f"trust {trust:.2f}"))
+            return triggers
+        if self._degraded:
+            # Campaign over: restore every device we stepped down.
+            # Skip the utilization pass this cycle — the devices are
+            # still at low-power, so an "underload" trigger would undo
+            # the restore before it takes effect.
+            for name in sorted(self._degraded):
+                triggers.append(Trigger(
+                    "restore", name, "chaos campaign ended"))
+            self._degraded.clear()
+            if self._degradation_started is not None:
+                self._degradation_accum += \
+                    self.ctx.now - self._degradation_started
+                self._degradation_started = None
+            for name in self.infrastructure.devices:
+                trust = self.manager.security.trust.trust(name)
+                if trust < self.trust_threshold:
+                    triggers.append(Trigger(
+                        "trust-drop", name, f"trust {trust:.2f}"))
+            return triggers
         for name, sample in samples.items():
             utilization = sample["utilization"]
             if utilization > self.overload_threshold:
@@ -170,6 +237,15 @@ class MapeLoop:
                     actions.append(PlannedAction(
                         "set-operating-point", trigger.component,
                         "low-power"))
+            elif trigger.kind == "degrade" and device is not None:
+                actions.append(PlannedAction(
+                    "set-operating-point", trigger.component,
+                    "low-power"))
+            elif trigger.kind == "restore" and device is not None:
+                if "balanced" in device.operating_points:
+                    actions.append(PlannedAction(
+                        "set-operating-point", trigger.component,
+                        "balanced"))
             elif trigger.kind in ("trust-drop", "fault"):
                 actions.append(PlannedAction(
                     "flag-reallocation", trigger.component, "avoid"))

@@ -15,12 +15,19 @@ import networkx as nx
 
 from repro.core.errors import ConfigurationError, NotFoundError
 from repro.continuum.simulator import Simulator
-from repro.runtime import as_simulator
+from repro.runtime import RuntimeContext
 
 
 @dataclass
 class Link:
-    """A bidirectional network link."""
+    """A bidirectional network link.
+
+    ``latency_factor`` / ``bandwidth_factor`` model chaos-injected
+    degradation (inflated latency, throttled bandwidth) without losing
+    the link's nominal parameters; ``up=False`` cuts the link entirely
+    (partitions). All three are mutated through
+    :meth:`Network.set_link_state` so path caches invalidate.
+    """
 
     a: str
     b: str
@@ -28,6 +35,9 @@ class Link:
     bandwidth_bps: float
     active_flows: int = 0
     bytes_carried: int = 0
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    up: bool = True
 
     def __post_init__(self):
         if self.latency_s < 0:
@@ -39,9 +49,14 @@ class Link:
         """Canonical (sorted) endpoint pair identifying this link."""
         return tuple(sorted((self.a, self.b)))  # type: ignore[return-value]
 
+    def effective_latency(self) -> float:
+        """Propagation latency including chaos-injected inflation."""
+        return self.latency_s * self.latency_factor
+
     def effective_bandwidth(self) -> float:
         """Bandwidth share for a new flow given current contention."""
-        return self.bandwidth_bps / max(1, self.active_flows + 1)
+        return (self.bandwidth_bps * self.bandwidth_factor
+                / max(1, self.active_flows + 1))
 
 
 @dataclass
@@ -64,8 +79,9 @@ class TransferResult:
 class Network:
     """The continuum's communication fabric."""
 
-    def __init__(self, sim: Simulator):
-        self.sim = as_simulator(sim)
+    def __init__(self, *, ctx: RuntimeContext | Simulator | None = None):
+        self.ctx = RuntimeContext.adopt(ctx)
+        self.sim = self.ctx.sim
         self.graph = nx.Graph()
         self._links: dict[tuple[str, str], Link] = {}
         self.transfers: list[TransferResult] = []
@@ -78,7 +94,8 @@ class Network:
 
     @property
     def generation(self) -> int:
-        """Bumped on every link addition (path caches invalidate on it)."""
+        """Bumped on every link addition or state change (path caches
+        invalidate on it)."""
         return self._generation
 
     # -- construction ------------------------------------------------------------
@@ -101,6 +118,41 @@ class Network:
         self._generation += 1
         self._path_cache.clear()
         self._route_cache.clear()
+        return link
+
+    def set_link_state(self, a: str, b: str, *, up: bool | None = None,
+                       latency_factor: float | None = None,
+                       bandwidth_factor: float | None = None) -> Link:
+        """Mutate a link's chaos state (cut, degrade, restore).
+
+        The single mutation point for partitions and degradations: it
+        keeps the routing graph in sync (a down link is removed from
+        the graph; an up link's edge weight is its *effective* latency),
+        bumps the topology generation and clears the path caches.
+        """
+        link = self.link(a, b)
+        if latency_factor is not None:
+            if latency_factor <= 0:
+                raise ConfigurationError("latency factor must be positive")
+            link.latency_factor = latency_factor
+        if bandwidth_factor is not None:
+            if bandwidth_factor <= 0:
+                raise ConfigurationError("bandwidth factor must be positive")
+            link.bandwidth_factor = bandwidth_factor
+        if up is not None:
+            link.up = up
+        if link.up:
+            self.graph.add_edge(link.a, link.b,
+                                latency=link.effective_latency())
+        elif self.graph.has_edge(link.a, link.b):
+            self.graph.remove_edge(link.a, link.b)
+        self._generation += 1
+        self._path_cache.clear()
+        self._route_cache.clear()
+        self.ctx.publish("net.link.state", {
+            "a": link.a, "b": link.b, "up": link.up,
+            "latency_factor": link.latency_factor,
+            "bandwidth_factor": link.bandwidth_factor})
         return link
 
     def link(self, a: str, b: str) -> Link:
@@ -138,8 +190,9 @@ class Network:
         return links
 
     def path_latency(self, src: str, dst: str) -> float:
-        """Sum of propagation latencies along the path."""
-        return sum(link.latency_s for link in self.path_links(src, dst))
+        """Sum of effective propagation latencies along the path."""
+        return sum(link.effective_latency()
+                   for link in self.path_links(src, dst))
 
     def estimate_transfer_time(self, src: str, dst: str,  # perf: hot
                                nbytes: int) -> float:
@@ -150,11 +203,12 @@ class Network:
         if route is None:
             links = self.path_links(src, dst)
             latency = 0.0
-            bottleneck = links[0].bandwidth_bps
+            bottleneck = links[0].bandwidth_bps * links[0].bandwidth_factor
             for link in links:
-                latency += link.latency_s
-                if link.bandwidth_bps < bottleneck:
-                    bottleneck = link.bandwidth_bps
+                latency += link.latency_s * link.latency_factor
+                bandwidth = link.bandwidth_bps * link.bandwidth_factor
+                if bandwidth < bottleneck:
+                    bottleneck = bandwidth
             route = (latency, bottleneck)
             self._route_cache[(src, dst)] = route
         return route[0] + nbytes * 8 / route[1]
@@ -177,7 +231,7 @@ class Network:
             return result
             yield  # pragma: no cover - makes this a generator in both paths
         links = self.path_links(src, dst)
-        latency = sum(link.latency_s for link in links)
+        latency = sum(link.effective_latency() for link in links)
         share = min(link.effective_bandwidth() for link in links)
         for link in links:
             link.active_flows += 1

@@ -2,8 +2,10 @@
 
 :class:`RuntimeContext` owns the canonical simulator (virtual clock),
 the traced event bus, the RNG seed tree and the structured trace
-recorder; ``ensure_context`` / ``as_simulator`` normalize legacy
-``Simulator``-style injection onto it. See DESIGN.md ("Runtime layer").
+recorder; :meth:`RuntimeContext.adopt` is the single context-injection
+surface that normalizes legacy ``Simulator``-style injection onto it
+(the old ``ensure_context`` / ``as_simulator`` helpers are deprecated
+shims over it). See DESIGN.md ("Runtime layer").
 """
 
 from repro.runtime.context import (

@@ -19,6 +19,7 @@ exports — deterministic replay across every layer at once.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.events import EventBus, Handler, Subscription
@@ -96,6 +97,33 @@ class RuntimeContext:
         self.bus: EventBus = TracedEventBus(
             lambda: self.sim.now, self.trace, self.tracer, self.metrics)
         self._register_core_metrics()
+
+    @classmethod
+    def adopt(cls, obj: "RuntimeContext | Simulator | None" = None, *,
+              seed: int = 0) -> "RuntimeContext":
+        """THE context-injection surface: normalize *obj* to a context.
+
+        Every public constructor that takes ``ctx=`` routes it through
+        here. An existing :class:`RuntimeContext` is returned as-is (no
+        copy — subsystems built from the same context share one clock,
+        bus, RNG tree and trace); a bare
+        :class:`~repro.continuum.simulator.Simulator` is wrapped in a
+        fresh context on that clock (legacy injection style); ``None``
+        yields a fresh context seeded with *seed*.
+
+        This replaces the PR-2 ``ensure_context``/``as_simulator`` dual
+        path; those helpers now delegate here and emit
+        ``DeprecationWarning``.
+        """
+        if isinstance(obj, cls):
+            return obj
+        if obj is None:
+            return cls(seed=seed)
+        if isinstance(obj, _simulator_cls()):
+            return cls(seed=seed, sim=obj)
+        raise TypeError(
+            f"expected RuntimeContext, Simulator or None, got "
+            f"{type(obj).__name__}")
 
     def _register_core_metrics(self) -> None:
         """Pull-style gauges over the spine's own counters."""
@@ -184,26 +212,18 @@ class RuntimeContext:
 
 
 def ensure_context(obj: Any = None, *, seed: int = 0) -> RuntimeContext:
-    """Normalize constructor inputs to a :class:`RuntimeContext`.
-
-    Accepts an existing context (returned as-is), a bare
-    :class:`Simulator` (wrapped — the legacy injection style), or None
-    (a fresh context). Centralizing this keeps ``Simulator()`` /
-    ``EventBus()`` construction inside ``repro.runtime``.
-    """
-    if isinstance(obj, RuntimeContext):
-        return obj
-    if obj is None:
-        return RuntimeContext(seed=seed)
-    if isinstance(obj, _simulator_cls()):
-        return RuntimeContext(seed=seed, sim=obj)
-    raise TypeError(
-        f"expected RuntimeContext, Simulator or None, got "
-        f"{type(obj).__name__}")
+    """Deprecated: use :meth:`RuntimeContext.adopt` instead."""
+    warnings.warn(
+        "ensure_context() is deprecated; use RuntimeContext.adopt()",
+        DeprecationWarning, stacklevel=2)
+    return RuntimeContext.adopt(obj, seed=seed)
 
 
 def as_simulator(obj: Any) -> "Simulator":
-    """The canonical simulator behind *obj* (context or simulator)."""
+    """Deprecated: use ``RuntimeContext.adopt(obj).sim`` instead."""
+    warnings.warn(
+        "as_simulator() is deprecated; use RuntimeContext.adopt(obj).sim",
+        DeprecationWarning, stacklevel=2)
     if isinstance(obj, RuntimeContext):
         return obj.sim
     return obj

@@ -1,0 +1,271 @@
+"""Resilience policy semantics on the DES clock.
+
+Retry/backoff determinism, timeout abandonment, circuit breaker state
+transitions (closed → open → half-open → closed) and hedged requests —
+the policy layer chaos campaigns lean on.
+"""
+
+import pytest
+
+from repro.chaos.policies import (
+    CallTimeout,
+    CircuitBreaker,
+    CircuitOpenError,
+    Hedge,
+    RetriesExhausted,
+    RetryPolicy,
+    Timeout,
+)
+from repro.core.errors import ConfigurationError, DeliveryError, \
+    ReproError
+from repro.runtime import RuntimeContext
+
+
+def _flaky(ctx, fail_times, delay_s=0.01, value="ok"):
+    """Call factory failing the first *fail_times* invocations."""
+    calls = {"n": 0}
+
+    def factory():
+        def gen():
+            yield ctx.sim.timeout(delay_s)
+            calls["n"] += 1
+            if calls["n"] <= fail_times:
+                raise DeliveryError(f"boom #{calls['n']}")
+            return value
+        return gen()
+    return factory, calls
+
+
+def _drive(ctx, policy, factory):
+    """Run policy.call(factory) to completion; returns (value, error)."""
+    out = {"value": None, "error": None}
+
+    def driver():
+        try:
+            out["value"] = yield from policy.call(factory)
+        except ReproError as exc:
+            out["error"] = exc
+    ctx.sim.process(driver())
+    ctx.run()
+    return out["value"], out["error"]
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_failures(self):
+        ctx = RuntimeContext(seed=1)
+        factory, calls = _flaky(ctx, fail_times=2)
+        policy = RetryPolicy(ctx=ctx, max_attempts=3)
+        value, error = _drive(ctx, policy, factory)
+        assert error is None
+        assert value == "ok"
+        assert calls["n"] == 3
+        assert policy.retries == 2
+
+    def test_exhaustion_chains_last_cause(self):
+        ctx = RuntimeContext(seed=1)
+        factory, _ = _flaky(ctx, fail_times=10)
+        policy = RetryPolicy(ctx=ctx, max_attempts=3)
+        value, error = _drive(ctx, policy, factory)
+        assert isinstance(error, RetriesExhausted)
+        assert isinstance(error.__cause__, DeliveryError)
+        assert policy.attempts == 3
+
+    def test_backoff_grows_and_is_seeded(self):
+        def trace_of(seed):
+            ctx = RuntimeContext(seed=seed)
+            factory, _ = _flaky(ctx, fail_times=10)
+            policy = RetryPolicy(ctx=ctx, max_attempts=4,
+                                 base_delay_s=0.1, multiplier=2.0)
+            retries = []
+            ctx.subscribe("chaos.policy.retry",
+                          lambda t, p: retries.append(p["delay_s"]))
+            _drive(ctx, policy, factory)
+            return retries
+
+        first = trace_of(7)
+        assert len(first) == 3
+        # Exponential envelope: delay k sits in [base*2^k, 1.5*base*2^k].
+        for k, delay in enumerate(first):
+            assert 0.1 * 2**k <= delay <= 0.1 * 2**k * 1.5
+        assert trace_of(7) == first  # same seed, same jitter
+        assert trace_of(8) != first
+
+    def test_non_matching_exception_propagates(self):
+        ctx = RuntimeContext(seed=1)
+
+        def factory():
+            def gen():
+                yield ctx.sim.timeout(0.01)
+                raise ValueError("not retryable")
+            return gen()
+
+        policy = RetryPolicy(ctx=ctx, max_attempts=3)
+
+        def driver():
+            with pytest.raises(ValueError):
+                yield from policy.call(factory)
+        ctx.sim.process(driver())
+        ctx.run()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(ctx=RuntimeContext(), max_attempts=0)
+
+
+class TestTimeout:
+    def test_fast_call_passes_through(self):
+        ctx = RuntimeContext(seed=1)
+        factory, _ = _flaky(ctx, fail_times=0, delay_s=0.05)
+        value, error = _drive(ctx, Timeout(ctx=ctx, limit_s=1.0),
+                              factory)
+        assert error is None and value == "ok"
+
+    def test_slow_call_abandoned(self):
+        ctx = RuntimeContext(seed=1)
+        factory, calls = _flaky(ctx, fail_times=0, delay_s=5.0)
+        value, error = _drive(ctx, Timeout(ctx=ctx, limit_s=0.5),
+                              factory)
+        assert isinstance(error, CallTimeout)
+        assert calls["n"] == 0  # interrupted before completing
+
+    def test_failure_propagates_not_timeout(self):
+        ctx = RuntimeContext(seed=1)
+        factory, _ = _flaky(ctx, fail_times=5, delay_s=0.01)
+        value, error = _drive(ctx, Timeout(ctx=ctx, limit_s=1.0),
+                              factory)
+        assert isinstance(error, DeliveryError)
+
+    def test_composes_under_retry(self):
+        """Retry(Timeout(...)): timeouts count as retryable failures."""
+        ctx = RuntimeContext(seed=1)
+        calls = {"n": 0}
+
+        def factory():
+            def gen():
+                calls["n"] += 1
+                # First call hangs; later calls are fast.
+                yield ctx.sim.timeout(9.0 if calls["n"] == 1 else 0.01)
+                return "ok"
+            return gen()
+
+        policy = RetryPolicy(ctx=ctx, max_attempts=3,
+                             inner=Timeout(ctx=ctx, limit_s=0.5))
+        value, error = _drive(ctx, policy, factory)
+        assert error is None and value == "ok"
+        assert calls["n"] == 2
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        ctx = RuntimeContext(seed=1)
+        breaker = CircuitBreaker(ctx=ctx, failure_threshold=3,
+                                 recovery_time_s=10.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_then_close(self):
+        ctx = RuntimeContext(seed=1)
+        breaker = CircuitBreaker(ctx=ctx, failure_threshold=1,
+                                 recovery_time_s=5.0)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        ctx.run(until=6.0)
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()  # concurrent probes rejected
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert [s for _, s in breaker.transitions] == \
+            ["closed", "open", "half-open", "closed"]
+
+    def test_half_open_failure_reopens(self):
+        ctx = RuntimeContext(seed=1)
+        breaker = CircuitBreaker(ctx=ctx, failure_threshold=1,
+                                 recovery_time_s=5.0)
+        breaker.record_failure()
+        ctx.run(until=6.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # The open window re-arms from the half-open failure.
+        assert not breaker.allow()
+        ctx.run(until=12.0)
+        assert breaker.allow()
+
+    def test_transitions_published_on_bus(self):
+        ctx = RuntimeContext(seed=1)
+        states = []
+        ctx.subscribe("chaos.breaker.state",
+                      lambda t, p: states.append(p["state"]))
+        breaker = CircuitBreaker(ctx=ctx, failure_threshold=1,
+                                 recovery_time_s=5.0, name="b")
+        breaker.record_failure()
+        ctx.run(until=6.0)
+        breaker.allow()
+        breaker.record_success()
+        assert states == ["open", "half-open", "closed"]
+
+    def test_call_fails_fast_when_open(self):
+        ctx = RuntimeContext(seed=1)
+        breaker = CircuitBreaker(ctx=ctx, failure_threshold=1,
+                                 recovery_time_s=60.0)
+        factory, calls = _flaky(ctx, fail_times=10)
+        _drive(ctx, breaker, factory)
+        assert breaker.state == "open"
+        value, error = _drive(ctx, breaker, factory)
+        assert isinstance(error, CircuitOpenError)
+        assert calls["n"] == 1  # the open call never ran the factory
+        assert breaker.rejected == 1
+
+
+class TestHedge:
+    def test_fast_primary_wins_without_hedging(self):
+        ctx = RuntimeContext(seed=1)
+        factory, calls = _flaky(ctx, fail_times=0, delay_s=0.01)
+        policy = Hedge(ctx=ctx, delay_s=0.5)
+        value, error = _drive(ctx, policy, factory)
+        assert error is None and value == "ok"
+        assert policy.hedged == 0
+        assert calls["n"] == 1
+
+    def test_slow_primary_hedged_by_secondary(self):
+        ctx = RuntimeContext(seed=1)
+        invocations = {"n": 0}
+
+        def factory():
+            invocations["n"] += 1
+            mine = invocations["n"]
+
+            def gen():
+                # Primary is slow, the hedge is fast.
+                yield ctx.sim.timeout(10.0 if mine == 1 else 0.05)
+                return f"attempt-{mine}"
+            return gen()
+
+        policy = Hedge(ctx=ctx, delay_s=0.2)
+        value, error = _drive(ctx, policy, factory)
+        assert error is None
+        assert value == "attempt-2"
+        assert policy.hedged == 1
+        # The loser was interrupted: only the winner completed.
+        assert invocations["n"] == 2
+
+
+class TestDeterminism:
+    def test_policy_stack_replays_byte_identically(self):
+        def run(seed):
+            ctx = RuntimeContext(seed=seed)
+            factory, _ = _flaky(ctx, fail_times=2)
+            policy = RetryPolicy(
+                ctx=ctx, max_attempts=4,
+                inner=Timeout(ctx=ctx, limit_s=0.5))
+            _drive(ctx, policy, factory)
+            return ctx.trace.to_jsonl()
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)

@@ -17,7 +17,7 @@ from repro.continuum.workload import KernelClass, Task
 
 
 def fpga(sim=None):
-    return make_device(sim or Simulator(), "fpga", DeviceKind.HMPSOC_FPGA)
+    return make_device("fpga", DeviceKind.HMPSOC_FPGA, ctx=sim or Simulator())
 
 
 class TestSpecValidation:
@@ -170,7 +170,7 @@ class TestReconfiguration:
 
     def test_non_reconfigurable_device_rejects(self):
         sim = Simulator()
-        dev = make_device(sim, "mc", DeviceKind.EDGE_MULTICORE)
+        dev = make_device("mc", DeviceKind.EDGE_MULTICORE, ctx=sim)
         with pytest.raises(ConfigurationError):
             next(dev.reconfigure("x.bit"))
 
@@ -207,8 +207,8 @@ class TestCrossDeviceComparisons:
 
     def test_cloud_faster_than_edge(self):
         sim = Simulator()
-        cloud = make_device(sim, "c", DeviceKind.CLOUD_SERVER)
-        edge = make_device(sim, "e", DeviceKind.EDGE_MULTICORE)
+        cloud = make_device("c", DeviceKind.CLOUD_SERVER, ctx=sim)
+        edge = make_device("e", DeviceKind.EDGE_MULTICORE, ctx=sim)
         task = Task("t", megaops=10000)
         assert cloud.estimate_duration(task) < edge.estimate_duration(task)
 
@@ -220,7 +220,7 @@ class TestCrossDeviceComparisons:
 
     def test_fpga_beats_multicore_on_dsp_energy(self):
         sim = Simulator()
-        fpga_dev = make_device(sim, "f", DeviceKind.HMPSOC_FPGA)
-        mc = make_device(sim, "m", DeviceKind.EDGE_MULTICORE)
+        fpga_dev = make_device("f", DeviceKind.HMPSOC_FPGA, ctx=sim)
+        mc = make_device("m", DeviceKind.EDGE_MULTICORE, ctx=sim)
         dsp = Task("t", megaops=5000, kernel=KernelClass.DSP)
         assert fpga_dev.estimate_energy(dsp) < mc.estimate_energy(dsp)

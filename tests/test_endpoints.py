@@ -12,10 +12,10 @@ from repro.net.topology import Network
 @pytest.fixture
 def setup():
     sim = Simulator()
-    network = Network(sim)
+    network = Network(ctx=sim)
     network.add_link("cam", "gw", 0.002, 10e6)
     network.add_link("gw", "fmdc", 0.005, 1e9)
-    hub = GatewayHub(sim, network, "gw")
+    hub = GatewayHub(network, "gw", ctx=sim)
     hub.register("cam", ["coap"])
     hub.register("fmdc", ["mqtt"])
     return sim, network, hub
@@ -25,9 +25,9 @@ class TestSensorProcess:
     def test_publishes_at_period(self, setup):
         sim, network, hub = setup
         sensor = SensorProcess(
-            sim, hub, "cam", "fmdc", "frames",
+            hub, "cam", "fmdc", "frames",
             sample_fn=lambda seq: {"frame": seq},
-            period_s=0.1, max_samples=5)
+            period_s=0.1, max_samples=5, ctx=sim)
         sim.run(until=sensor.process)
         assert len(sensor.readings) == 5
         # Samples spaced by at least the period.
@@ -38,9 +38,9 @@ class TestSensorProcess:
     def test_messages_reach_destination(self, setup):
         sim, network, hub = setup
         sensor = SensorProcess(
-            sim, hub, "cam", "fmdc", "frames",
+            hub, "cam", "fmdc", "frames",
             sample_fn=lambda seq: {"frame": seq},
-            period_s=0.05, max_samples=3)
+            period_s=0.05, max_samples=3, ctx=sim)
         sim.run(until=sensor.process)
         delivered = [r for r in hub.deliveries if r.wire_bytes > 0]
         assert len(delivered) == 3
@@ -49,8 +49,9 @@ class TestSensorProcess:
     def test_stop_halts_publication(self, setup):
         sim, network, hub = setup
         sensor = SensorProcess(
-            sim, hub, "cam", "fmdc", "frames",
-            sample_fn=lambda seq: {"frame": seq}, period_s=0.1)
+            hub, "cam", "fmdc", "frames",
+            sample_fn=lambda seq: {"frame": seq}, period_s=0.1,
+            ctx=sim)
         sim.run(until=0.35)
         sensor.stop()
         sim.run(until=2.0)
@@ -59,16 +60,16 @@ class TestSensorProcess:
     def test_invalid_period_rejected(self, setup):
         sim, network, hub = setup
         with pytest.raises(ConfigurationError):
-            SensorProcess(sim, hub, "cam", "fmdc", "t",
-                          lambda seq: {}, period_s=0)
+            SensorProcess(hub, "cam", "fmdc", "t",
+                          lambda seq: {}, period_s=0, ctx=sim)
 
     def test_readings_buffered_during_outage(self, setup):
         sim, network, hub = setup
         hub.set_reachable("fmdc", False)
         sensor = SensorProcess(
-            sim, hub, "cam", "fmdc", "frames",
+            hub, "cam", "fmdc", "frames",
             sample_fn=lambda seq: {"frame": seq},
-            period_s=0.05, max_samples=4)
+            period_s=0.05, max_samples=4, ctx=sim)
         sim.run(until=sensor.process)
         assert hub.buffered_count("fmdc") == 4
 
@@ -76,7 +77,7 @@ class TestSensorProcess:
 class TestActuatorProcess:
     def test_commands_executed_in_order(self):
         sim = Simulator()
-        actuator = ActuatorProcess(sim, "valve", actuation_delay_s=0.01)
+        actuator = ActuatorProcess("valve", actuation_delay_s=0.01, ctx=sim)
 
         def issue():
             for sequence in range(3):
@@ -90,7 +91,7 @@ class TestActuatorProcess:
 
     def test_latency_includes_actuation_delay(self):
         sim = Simulator()
-        actuator = ActuatorProcess(sim, "valve", actuation_delay_s=0.02)
+        actuator = ActuatorProcess("valve", actuation_delay_s=0.02, ctx=sim)
 
         def issue():
             yield actuator.command(0, sim.now)
@@ -104,12 +105,12 @@ class TestActuatorProcess:
 
     def test_mean_latency_empty(self):
         sim = Simulator()
-        actuator = ActuatorProcess(sim, "valve")
+        actuator = ActuatorProcess("valve", ctx=sim)
         assert actuator.mean_latency() == 0.0
 
     def test_negative_delay_rejected(self):
         with pytest.raises(ConfigurationError):
-            ActuatorProcess(Simulator(), "v", actuation_delay_s=-1)
+            ActuatorProcess("v", actuation_delay_s=-1, ctx=Simulator())
 
 
 class TestSenseActuateLoop:
@@ -117,11 +118,11 @@ class TestSenseActuateLoop:
         """Sensor -> gateway -> controller decision -> actuator, with
         measured end-to-end latency."""
         sim, network, hub = setup
-        actuator = ActuatorProcess(sim, "brake", actuation_delay_s=0.003)
+        actuator = ActuatorProcess("brake", actuation_delay_s=0.003, ctx=sim)
         sensor = SensorProcess(
-            sim, hub, "cam", "fmdc", "hazard",
+            hub, "cam", "fmdc", "hazard",
             sample_fn=lambda seq: {"hazard": seq % 2 == 0, "seq": seq},
-            period_s=0.05, max_samples=6)
+            period_s=0.05, max_samples=6, ctx=sim)
 
         def controller():
             """Reacts to delivered hazard readings."""

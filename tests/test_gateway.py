@@ -13,11 +13,11 @@ from repro.net.topology import Network
 @pytest.fixture
 def setup():
     sim = Simulator()
-    network = Network(sim)
+    network = Network(ctx=sim)
     network.add_link("sensor", "gw", 0.002, 1e6)
     network.add_link("fpga", "gw", 0.002, 100e6)
     network.add_link("gw", "fmdc", 0.005, 1e9)
-    hub = GatewayHub(sim, network, "gw", buffer_limit=3)
+    hub = GatewayHub(network, "gw", buffer_limit=3, ctx=sim)
     hub.register("sensor", ["coap"])
     hub.register("fpga", ["http"])
     hub.register("fmdc", ["mqtt", "http"])
@@ -50,7 +50,7 @@ class TestRegistration:
     def test_gateway_must_be_in_network(self):
         sim = Simulator()
         with pytest.raises(NotFoundError):
-            GatewayHub(sim, Network(sim), "nowhere")
+            GatewayHub(Network(ctx=sim), "nowhere", ctx=sim)
 
 
 class TestBridging:

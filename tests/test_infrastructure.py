@@ -16,23 +16,23 @@ from repro.continuum import (
 
 class TestInfrastructure:
     def test_add_device_registers_host(self):
-        infra = Infrastructure(Simulator())
+        infra = Infrastructure(ctx=Simulator())
         dev = infra.add_device(DeviceKind.EDGE_MULTICORE)
         assert dev.name in infra.network.graph
         assert infra.device(dev.name) is dev
 
     def test_duplicate_name_rejected(self):
-        infra = Infrastructure(Simulator())
+        infra = Infrastructure(ctx=Simulator())
         infra.add_device(DeviceKind.EDGE_MULTICORE, name="n")
         with pytest.raises(ValidationError):
             infra.add_device(DeviceKind.FMDC, name="n")
 
     def test_unknown_device_raises(self):
         with pytest.raises(NotFoundError):
-            Infrastructure(Simulator()).device("ghost")
+            Infrastructure(ctx=Simulator()).device("ghost")
 
     def test_attach_creates_link_with_layer_defaults(self):
-        infra = Infrastructure(Simulator())
+        infra = Infrastructure(ctx=Simulator())
         gw = infra.add_device(DeviceKind.SMART_GATEWAY, name="gw")
         fpga = infra.add_device(DeviceKind.HMPSOC_FPGA, name="fpga",
                                 attach_to="gw")
@@ -40,7 +40,7 @@ class TestInfrastructure:
         assert link.latency_s == pytest.approx(0.005)  # edge-fog default
 
     def test_attach_with_explicit_link_params(self):
-        infra = Infrastructure(Simulator())
+        infra = Infrastructure(ctx=Simulator())
         infra.add_device(DeviceKind.SMART_GATEWAY, name="gw")
         infra.add_device(DeviceKind.HMPSOC_FPGA, name="fpga",
                          attach_to="gw", link_latency_s=0.001,

@@ -162,13 +162,13 @@ class TestGatewayInsideReferenceInfrastructure:
         from repro.continuum.endpoints import SensorProcess
         network = engine.infrastructure.network
         network.add_link("roadside-cam", "gw-00-0", 0.002, 10e6)
-        hub = GatewayHub(engine.sim, network, "gw-00-0")
+        hub = GatewayHub(network, "gw-00-0", ctx=engine.sim)
         hub.register("roadside-cam", ["coap"])
         hub.register("fmdc-00", ["mqtt"])
         sensor = SensorProcess(
-            engine.sim, hub, "roadside-cam", "fmdc-00", "traffic",
+            hub, "roadside-cam", "fmdc-00", "traffic",
             sample_fn=lambda seq: {"vehicles": seq % 7},
-            period_s=0.02, max_samples=8)
+            period_s=0.02, max_samples=8, ctx=engine.sim)
         outcome = engine.manager.deploy(
             mobility.build_scenario(vehicles=1).to_service_template(),
             strategy="greedy")

@@ -337,7 +337,7 @@ class TestNegotiation:
         # Tiny infrastructure: only a RISC-V (low security) at the edge.
         from repro.continuum.infrastructure import Infrastructure
         from repro.continuum.devices import DeviceKind
-        lone = Infrastructure(sim)
+        lone = Infrastructure(ctx=sim)
         lone.add_device(DeviceKind.RISCV_CGRA, name="riscv")
         lone_manager = MirtoManager(lone)
         full_engine = CognitiveEngine(EngineConfig(seed=2))

@@ -139,7 +139,7 @@ class TestTelemetryMonitor:
 
     def test_network_sampling(self):
         sim = Simulator()
-        net = Network(sim)
+        net = Network(ctx=sim)
         net.add_link("a", "b", 0.01, 1e6)
         sim.run(until=sim.process(net.transfer("a", "b", 500)))
         mon = TelemetryMonitor("net")
@@ -150,7 +150,7 @@ class TestTelemetryMonitor:
 class TestInfrastructureMonitor:
     def test_device_sampling(self):
         sim = Simulator()
-        dev = make_device(sim, "fpga", DeviceKind.HMPSOC_FPGA)
+        dev = make_device("fpga", DeviceKind.HMPSOC_FPGA, ctx=sim)
         sim.run(until=sim.process(dev.execute(Task("t", megaops=100))))
         mon = InfrastructureMonitor("infra")
         sample = mon.sample_device(sim.now, dev)
@@ -159,7 +159,7 @@ class TestInfrastructureMonitor:
 
     def test_pmc_series_for_reconfigurable(self):
         sim = Simulator()
-        dev = make_device(sim, "fpga", DeviceKind.HMPSOC_FPGA)
+        dev = make_device("fpga", DeviceKind.HMPSOC_FPGA, ctx=sim)
         sim.run(until=sim.process(dev.reconfigure("x.bit")))
         mon = InfrastructureMonitor("infra")
         mon.sample_device(sim.now, dev)
@@ -167,7 +167,7 @@ class TestInfrastructureMonitor:
 
     def test_no_pmc_series_for_plain_multicore(self):
         sim = Simulator()
-        dev = make_device(sim, "mc", DeviceKind.EDGE_MULTICORE)
+        dev = make_device("mc", DeviceKind.EDGE_MULTICORE, ctx=sim)
         mon = InfrastructureMonitor("infra")
         mon.sample_device(sim.now, dev)
         assert "mc.reconfigurations" not in mon.series

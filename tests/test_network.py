@@ -17,7 +17,7 @@ from repro.net.protocols import negotiate
 
 def linear_network(sim):
     """a -- b -- c with distinct latencies/bandwidths."""
-    net = Network(sim)
+    net = Network(ctx=sim)
     net.add_link("a", "b", latency_s=0.010, bandwidth_bps=1e6)
     net.add_link("b", "c", latency_s=0.020, bandwidth_bps=2e6)
     return net
@@ -26,7 +26,7 @@ def linear_network(sim):
 class TestTopology:
     def test_self_link_rejected(self):
         with pytest.raises(ConfigurationError):
-            Network(Simulator()).add_link("a", "a", 0.01, 1e6)
+            Network(ctx=Simulator()).add_link("a", "a", 0.01, 1e6)
 
     def test_path_and_latency(self):
         net = linear_network(Simulator())

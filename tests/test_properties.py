@@ -228,7 +228,7 @@ class TestSliceProperties:
         from repro.core.errors import CapacityError
         from repro.continuum.simulator import Simulator
         from repro.net import Network, SliceManager
-        network = Network(Simulator())
+        network = Network(ctx=Simulator())
         network.add_link("a", "b", 0.01, 1e9)
         manager = SliceManager(network)
         for i, fraction in enumerate(fractions):

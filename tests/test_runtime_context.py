@@ -77,31 +77,96 @@ class TestRuntimeContext:
         assert ctx.trace.records("from.child")
 
 
-class TestEnsureContext:
+class TestAdopt:
+    """RuntimeContext.adopt is THE context-injection surface."""
+
     def test_context_passthrough(self):
         ctx = RuntimeContext()
-        assert ensure_context(ctx) is ctx
+        assert RuntimeContext.adopt(ctx) is ctx
 
     def test_none_creates_fresh(self):
-        ctx = ensure_context(None, seed=3)
+        ctx = RuntimeContext.adopt(None, seed=3)
         assert isinstance(ctx, RuntimeContext)
         assert ctx.seed == 3
 
+    def test_default_argument(self):
+        assert isinstance(RuntimeContext.adopt(), RuntimeContext)
+
     def test_simulator_wrapped(self):
         sim = Simulator(start_time=4.0)
-        ctx = ensure_context(sim)
+        ctx = RuntimeContext.adopt(sim)
         assert ctx.sim is sim
         assert ctx.now == 4.0
 
     def test_rejects_other_types(self):
         with pytest.raises(TypeError):
-            ensure_context("not a simulator")
+            RuntimeContext.adopt("not a simulator")
 
-    def test_as_simulator(self):
+    def test_no_deprecation_warning(self):
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            RuntimeContext.adopt(None)
+
+
+class TestDeprecatedShims:
+    """ensure_context/as_simulator still work, but warn (once per
+    call site) and route through RuntimeContext.adopt."""
+
+    def test_ensure_context_warns_and_delegates(self):
         ctx = RuntimeContext()
-        assert as_simulator(ctx) is ctx.sim
+        with pytest.warns(DeprecationWarning,
+                          match="RuntimeContext.adopt"):
+            assert ensure_context(ctx) is ctx
+
+    def test_ensure_context_wraps_simulator(self):
+        sim = Simulator(start_time=4.0)
+        with pytest.warns(DeprecationWarning):
+            wrapped = ensure_context(sim)
+        assert wrapped.sim is sim
+
+    def test_ensure_context_rejects_other_types(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                ensure_context("not a simulator")
+
+    def test_as_simulator_warns_and_delegates(self):
+        ctx = RuntimeContext()
+        with pytest.warns(DeprecationWarning,
+                          match="RuntimeContext.adopt"):
+            assert as_simulator(ctx) is ctx.sim
         sim = Simulator()
-        assert as_simulator(sim) is sim
+        with pytest.warns(DeprecationWarning):
+            assert as_simulator(sim) is sim
+
+    def test_warning_fires_once_per_call_site(self):
+        import warnings
+
+        def call_site():
+            return ensure_context(None)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.resetwarnings()
+            warnings.simplefilter("default", DeprecationWarning)
+            # __warningregistry__ dedupes on (message, category,
+            # lineno): the same call site repeated warns once ...
+            for _ in range(5):
+                call_site()
+            deprecations = [w for w in caught
+                            if w.category is DeprecationWarning]
+            assert len(deprecations) == 1
+            # ... and a different call site warns again.
+            ensure_context(None)
+            deprecations = [w for w in caught
+                            if w.category is DeprecationWarning]
+            assert len(deprecations) == 2
+
+    def test_warning_attributes_to_caller(self):
+        """stacklevel=2: the warning points at the call site, not at
+        repro/runtime/context.py."""
+        with pytest.warns(DeprecationWarning) as record:
+            ensure_context(None)
+        assert record[0].filename == __file__
 
 
 class _Color(enum.Enum):
