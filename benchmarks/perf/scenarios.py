@@ -293,3 +293,31 @@ def _kpi_estimate(quick: bool):
             estimate_placement_kpis(app, placement, infra,
                                     source_device="mc-00-0")
     return n_ops, run
+
+
+# -- static analysis --------------------------------------------------------
+
+
+@scenario("analysis.flow.full")
+def _analysis_flow_full(quick: bool):
+    """Whole-program topic-flow + DES-contract analysis of src/repro.
+
+    One op = one analyzed file (parse, symbol table, call graph and
+    every flow rule), so ns/op tracks per-file analyzer cost as the
+    codebase grows. Quick mode restricts the program to two packages.
+    """
+    from pathlib import Path
+
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.flow import run_flow
+
+    root = Path(__file__).resolve().parents[2]
+    paths = ["src/repro/chaos", "src/repro/continuum"] if quick \
+        else ["src/repro"]
+    config = AnalysisConfig(root=root, flow_paths=paths)
+    n_files = sum(1 for p in paths
+                  for _ in (root / p).rglob("*.py"))
+
+    def run():
+        run_flow(config)  # fresh ParseCache per batch: cold analysis
+    return n_files, run

@@ -1,16 +1,27 @@
 """Command line for the analysis subsystem.
 
-Lint mode (the default)::
+Lint + flow mode (the default)::
 
     python -m repro.analysis                 # report against baseline
     python -m repro.analysis --check         # exit 1 on new findings
     python -m repro.analysis --write-baseline
     python -m repro.analysis --json src/repro/kb
 
+Topic-graph mode::
+
+    python -m repro.analysis graph                # JSON topic graph
+    python -m repro.analysis graph --format dot   # Graphviz DOT
+
 TOSCA mode::
 
     python -m repro.analysis tosca service.yaml
     python -m repro.analysis tosca package.csar
+
+The default run merges continuum-lint findings with the whole-program
+flow analyses (topic contracts, DES generator rules) and diffs the
+union against one baseline. Parsed ASTs are shared between the engines
+through an mtime+size-keyed cache persisted at ``cache`` from
+``[tool.repro-analysis]`` (``--no-cache`` disables persistence).
 
 Exit codes: 0 = clean (or everything baselined), 1 = new blocking
 findings, 2 = usage/configuration error.
@@ -22,6 +33,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.cache import ParseCache
 from repro.analysis.config import load_config
 from repro.analysis.findings import Baseline, Severity
 from repro.analysis.reporters import render_findings, render_json, render_text
@@ -31,10 +43,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-analysis",
         description="Static analysis for the MYRTUS reproduction "
-                    "(continuum-lint, MLIR dataflow, TOSCA checking).")
+                    "(continuum-lint, topic-flow/DES contracts, "
+                    "TOSCA checking).")
     parser.add_argument("paths", nargs="*",
                         help="files/dirs to lint (default: configured "
-                             "paths), or 'tosca FILE' for template mode")
+                             "paths), 'graph' for the topic graph, or "
+                             "'tosca FILE' for template mode")
     parser.add_argument("--root", default=".",
                         help="repo root (where pyproject.toml and the "
                              "baseline live)")
@@ -49,9 +63,25 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--rules", default=None,
                         help="comma-separated rule ids to run "
                              "(default: all enabled)")
+    parser.add_argument("--format", default="json",
+                        choices=("json", "dot"),
+                        help="graph mode output format")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not load or persist the parse cache")
+    parser.add_argument("--cache", default=None,
+                        help="parse-cache file (default from config)")
     parser.add_argument("--verbose", action="store_true",
                         help="also list baselined findings")
     return parser
+
+
+def _open_cache(args, config) -> tuple[ParseCache, Path | None]:
+    if args.no_cache:
+        return ParseCache(), None
+    cache_path = Path(args.cache) if args.cache else config.cache_path
+    if cache_path is None:
+        return ParseCache(), None
+    return ParseCache.load(cache_path), cache_path
 
 
 def _run_tosca(paths: list[str], as_json: bool) -> int:
@@ -87,11 +117,36 @@ def _run_tosca(paths: list[str], as_json: bool) -> int:
     return 1 if blocking else 0
 
 
+def _run_graph(args) -> int:
+    import json as json_module
+
+    from repro.analysis.flow import (build_topic_graph, graph_to_dot,
+                                     load_project)
+
+    config = load_config(args.root)
+    cache, cache_path = _open_cache(args, config)
+    project = load_project(config, cache)
+    graph = build_topic_graph(project)
+    if cache_path is not None:
+        cache.save(cache_path)
+    if args.format == "dot":
+        print(graph_to_dot(graph), end="")
+    else:
+        print(json_module.dumps(graph, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.paths and args.paths[0] == "tosca":
         return _run_tosca(args.paths[1:], args.json)
+    if args.paths and args.paths[0] == "graph":
+        if len(args.paths) > 1:
+            print("graph mode takes no paths", file=sys.stderr)
+            return 2
+        return _run_graph(args)
 
+    from repro.analysis.flow import FLOW_RULES, run_flow
     from repro.analysis.lint import LintEngine, all_rules
 
     config = load_config(args.root)
@@ -99,18 +154,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.rules:
         only_rules = {r.strip() for r in args.rules.split(",")
                       if r.strip()}
-        unknown = only_rules - set(all_rules())
+        known = set(all_rules()) | FLOW_RULES
+        unknown = only_rules - known
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}; "
-                  f"available: {', '.join(sorted(all_rules()))}",
+                  f"available: {', '.join(sorted(known))}",
                   file=sys.stderr)
             return 2
     for raw in args.paths:
         if not Path(raw).exists():
             print(f"no such path: {raw}", file=sys.stderr)
             return 2
-    engine = LintEngine(config, only_rules=only_rules)
+    cache, cache_path = _open_cache(args, config)
+    engine = LintEngine(config, only_rules=only_rules, cache=cache)
     findings = engine.run(args.paths or None)
+    # The flow analyses are whole-program: they run on the configured
+    # flow paths (not the lint path selection) unless rule-filtered out.
+    if only_rules is None or only_rules & FLOW_RULES:
+        findings = findings + run_flow(config, cache=cache,
+                                       only_rules=only_rules)
+    findings.sort(key=lambda f: (f.path, f.line, f.tool, f.rule,
+                                 f.occurrence))
+    if cache_path is not None:
+        cache.save(cache_path)
 
     baseline_path = Path(args.baseline) if args.baseline \
         else config.baseline_path

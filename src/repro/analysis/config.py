@@ -48,7 +48,15 @@ class AnalysisConfig:
     # through RuntimeContext.adopt; the shims survive only inside
     # runtime/ itself (built-in) and tests.
     context_shim_allowlist: list[str] = field(default_factory=list)
+    # Roots the whole-program flow analyses (topic contracts, DES
+    # generator rules) build their symbol table from. Product code
+    # only: benchmarks/examples publish nothing on the spine.
+    flow_paths: list[str] = field(
+        default_factory=lambda: ["src/repro"])
     baseline: str = "analysis-baseline.json"
+    # On-disk AST parse cache (mtime+size validated); empty disables
+    # persistence. Relative to root.
+    cache: str = ".repro-analysis-cache"
 
     def is_excluded(self, rel_path: str) -> bool:
         rel = rel_path.replace("\\", "/")
@@ -109,6 +117,10 @@ class AnalysisConfig:
     def baseline_path(self) -> Path:
         return self.root / self.baseline
 
+    @property
+    def cache_path(self) -> Path | None:
+        return self.root / self.cache if self.cache else None
+
 
 def load_config(root: str | Path | None = None) -> AnalysisConfig:
     """Read ``[tool.repro-analysis]`` from *root*/pyproject.toml.
@@ -134,10 +146,13 @@ def load_config(root: str | Path | None = None) -> AnalysisConfig:
                       ("runtime-allowlist", "runtime_allowlist"),
                       ("print-allowlist", "print_allowlist"),
                       ("context-shim-allowlist",
-                       "context_shim_allowlist")):
+                       "context_shim_allowlist"),
+                      ("flow-paths", "flow_paths")):
         value = table.get(key)
         if isinstance(value, list):
             setattr(config, attr, [str(v) for v in value])
     if isinstance(table.get("baseline"), str):
         config.baseline = table["baseline"]
+    if isinstance(table.get("cache"), str):
+        config.cache = table["cache"]
     return config

@@ -1,0 +1,165 @@
+"""Static topic patterns and the pattern-intersection decision.
+
+A :class:`TopicPattern` is the compile-time view of a bus topic: a
+sequence of dotted segments where each segment is a literal, ``*``
+(exactly one segment — also what a resolved f-string placeholder
+becomes) or ``**`` (any number of segments). Concrete-topic matching
+delegates to :func:`repro.core.events.compile_pattern`, the *same*
+compiler the runtime bus dispatches through, so the static analyzer can
+never drift from delivery semantics; pattern-vs-pattern intersection
+(can any single topic match both?) is decided here with a product walk
+over the two segment lists.
+
+The hypothesis property in ``tests/test_analysis_flow.py`` pins the
+equivalence: for every generated pattern/topic pair, intersecting the
+pattern with the topic-as-exact-pattern agrees with the runtime
+compiled matcher.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core.events import topic_matches
+
+#: Legal characters for one literal topic segment (DESIGN.md: lowercase
+#: dotted names; digits, underscore and hyphen allowed inside segments).
+SEGMENT_RE = re.compile(r"^[a-z0-9_-]+$")
+
+
+@dataclass(frozen=True)
+class TopicPattern:
+    """One static topic pattern, with provenance for findings."""
+
+    text: str  # dotted pattern, placeholders already folded to `*`
+    dynamic: bool = False  # True when built from an f-string
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(self.text.split("."))
+
+    @property
+    def exact(self) -> bool:
+        """Wildcard-free: names exactly one topic."""
+        return "*" not in self.segments and "**" not in self.segments
+
+    def matches_topic(self, topic: str) -> bool:
+        """Runtime-identical concrete matching (shared compiler)."""
+        return topic_matches(self.text, topic)
+
+    def intersects(self, other: "TopicPattern | str") -> bool:
+        """Could any single concrete topic match both patterns?"""
+        text = other.text if isinstance(other, TopicPattern) else other
+        return patterns_intersect(self.text, text)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.text
+
+
+@lru_cache(maxsize=16384)
+def patterns_intersect(a: str, b: str) -> bool:
+    """Decide whether the topic sets of patterns *a* and *b* overlap.
+
+    Both sides may contain ``*`` and ``**`` segments. The walk advances
+    an index pair through the two segment lists; every recursion step
+    strictly increases ``i + j``, so the search terminates without a
+    visited set and memoization keeps it linear in ``len(a) * len(b)``.
+    """
+    return _intersect(tuple(a.split(".")), tuple(b.split(".")), 0, 0)
+
+
+def _all_glob(segs: tuple[str, ...], i: int) -> bool:
+    return all(s == "**" for s in segs[i:])
+
+
+def _intersect(pa: tuple[str, ...], pb: tuple[str, ...],
+               i: int, j: int, _memo: dict | None = None) -> bool:
+    if _memo is None:
+        _memo = {}
+    key = (i, j)
+    if key in _memo:
+        return _memo[key]
+    if i == len(pa):
+        result = _all_glob(pb, j)
+    elif j == len(pb):
+        result = _all_glob(pa, i)
+    else:
+        sa, sb = pa[i], pb[j]
+        if sa == "**" and sb == "**":
+            # Either glob may yield first; consuming a shared segment
+            # with both staying put returns to this state, so the two
+            # epsilon moves cover every interleaving.
+            result = (_intersect(pa, pb, i + 1, j, _memo)
+                      or _intersect(pa, pb, i, j + 1, _memo))
+        elif sa == "**":
+            # Zero segments, or consume one that sb also consumes
+            # (any literal/`*` names a topic segment `**` accepts).
+            result = (_intersect(pa, pb, i + 1, j, _memo)
+                      or _intersect(pa, pb, i, j + 1, _memo))
+        elif sb == "**":
+            result = (_intersect(pa, pb, i, j + 1, _memo)
+                      or _intersect(pa, pb, i + 1, j, _memo))
+        elif sa == "*" or sb == "*" or sa == sb:
+            result = _intersect(pa, pb, i + 1, j + 1, _memo)
+        else:
+            result = False
+    _memo[key] = result
+    return result
+
+
+def pattern_from_ast(node: ast.AST) -> TopicPattern | None:
+    """Resolve a topic-argument expression to a static pattern.
+
+    Literal strings map segment-for-segment; f-strings fold every
+    placeholder into a ``*`` segment (the repo convention — enforced by
+    ``flow-topic-name`` — is that interpolated values are single
+    dot-free segments, e.g. a device, gateway or cluster name). A
+    placeholder embedded in a wider segment (``t{i}``) also widens that
+    whole segment to ``*``. Anything else (a bare name, a call) is
+    dynamic beyond static resolution: returns None.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return TopicPattern(node.value, dynamic=False)
+    if isinstance(node, ast.JoinedStr):
+        text = ""
+        for part in node.values:
+            if isinstance(part, ast.Constant) and \
+                    isinstance(part.value, str):
+                text += part.value
+            elif isinstance(part, ast.FormattedValue):
+                text += "\0"
+            else:
+                return None
+        segments = []
+        for segment in text.split("."):
+            segments.append("*" if "\0" in segment else segment)
+        return TopicPattern(".".join(segments), dynamic=True)
+    return None
+
+
+def segment_violations(pattern: TopicPattern,
+                       allow_wildcards: bool) -> list[str]:
+    """Naming-convention problems with *pattern*'s segments.
+
+    Published topics may not contain wildcard segments
+    (``allow_wildcards=False`` — a literal ``*`` in a published topic
+    is almost certainly a subscription pattern pasted into a publish);
+    resolved f-string placeholders are exempt because their ``*`` is
+    the analyzer's own widening, not a character in the topic.
+    """
+    problems = []
+    for segment in pattern.segments:
+        if segment in ("*", "**"):
+            if not allow_wildcards and not pattern.dynamic:
+                problems.append(
+                    f"wildcard segment {segment!r} in a published topic")
+            continue
+        if not segment:
+            problems.append("empty segment (consecutive/leading dots)")
+        elif not SEGMENT_RE.match(segment):
+            problems.append(
+                f"segment {segment!r} has characters outside [a-z0-9_-]")
+    return problems

@@ -21,6 +21,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.cache import ParseCache, ParsedFile, parse_source
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.findings import Finding, Severity, assign_occurrences
 
@@ -120,18 +121,13 @@ def all_rules() -> dict[str, type[Rule]]:
 
 
 def _collect_imports(tree: ast.Module, ctx: LintContext) -> None:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                ctx.import_aliases[alias.asname or
-                                   alias.name.split(".")[0]] = alias.name
-        elif isinstance(node, ast.ImportFrom) and node.module \
-                and node.level == 0:
-            for alias in node.names:
-                ctx.from_imports[alias.asname or alias.name] = \
-                    f"{node.module}.{alias.name}"
-    # `import numpy.random as npr` style: alias maps to full dotted name
-    # already; `import numpy` maps "numpy" -> "numpy". Nothing else to do.
+    # Shared with the flow symbol table: one resolution semantics for
+    # both engines (`import numpy as np` -> "np": "numpy", `from random
+    # import randint as ri` -> "ri": "random.randint").
+    from repro.analysis.flow.symbols import collect_import_maps
+    aliases, from_imports = collect_import_maps(tree)
+    ctx.import_aliases.update(aliases)
+    ctx.from_imports.update(from_imports)
 
 
 def _parse_pragmas(lines: list[str]) -> tuple[
@@ -177,8 +173,10 @@ class LintEngine:
     """Runs the registered rules over a set of Python files."""
 
     def __init__(self, config: AnalysisConfig,
-                 only_rules: set[str] | None = None):
+                 only_rules: set[str] | None = None,
+                 cache: ParseCache | None = None):
         self.config = config
+        self.cache = cache if cache is not None else ParseCache()
         self.rules: list[Rule] = []
         for rule_id, cls in sorted(all_rules().items()):
             if only_rules is not None and rule_id not in only_rules:
@@ -209,32 +207,35 @@ class LintEngine:
         return assign_occurrences(findings)
 
     def lint_file(self, file_path: Path, rel_path: str) -> list[Finding]:
-        try:
-            source = file_path.read_text()
-        except OSError:
+        parsed = self.cache.parse(file_path)
+        if parsed.error is not None and parsed.error[0] == \
+                "unreadable file":
             return []
-        return self.lint_source(source, rel_path)
+        return self._lint_parsed(parsed, rel_path)
 
     def lint_source(self, source: str, rel_path: str) -> list[Finding]:
         """Lint a source string (the unit the rule tests exercise)."""
-        lines = source.splitlines()
-        try:
-            tree = ast.parse(source)
-        except SyntaxError as exc:
+        return self._lint_parsed(parse_source(source), rel_path)
+
+    def _lint_parsed(self, parsed: ParsedFile,
+                     rel_path: str) -> list[Finding]:
+        lines = parsed.lines
+        if parsed.tree is None:
+            message, lineno = parsed.error or ("invalid syntax", 1)
             return [Finding(
                 tool="lint", rule="syntax-error", path=rel_path,
-                line=exc.lineno or 1, message=f"cannot parse: {exc.msg}",
+                line=lineno, message=f"cannot parse: {message}",
                 severity=Severity.ERROR,
-                context=lines[(exc.lineno or 1) - 1].strip()
-                if 0 < (exc.lineno or 1) <= len(lines) else "")]
-        ctx = LintContext(rel_path=rel_path, tree=tree, lines=lines,
-                          config=self.config)
-        _collect_imports(tree, ctx)
+                context=lines[lineno - 1].strip()
+                if 0 < lineno <= len(lines) else "")]
+        ctx = LintContext(rel_path=rel_path, tree=parsed.tree,
+                          lines=lines, config=self.config)
+        _collect_imports(parsed.tree, ctx)
         dispatch: dict[type, list[Rule]] = {}
         for rule in self.rules:
             for node_type in rule.node_types:
                 dispatch.setdefault(node_type, []).append(rule)
-        for node in ast.walk(tree):
+        for node in ast.walk(parsed.tree):
             for rule in dispatch.get(type(node), ()):
                 rule.on_node(node, ctx)
         line_pragmas, file_disabled, file_all = _parse_pragmas(lines)

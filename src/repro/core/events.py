@@ -45,7 +45,8 @@ class Subscription:
         #: Bus-wide subscription sequence number; delivery order.
         self.order = order
         #: Compiled matcher (None means the pattern is wildcard-free).
-        self.matcher: Optional[Callable[[str], bool]] = _compile(pattern)
+        self.matcher: Optional[Callable[[str], bool]] = \
+            compile_pattern(pattern)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "active" if self.active else "inactive"
@@ -60,7 +61,7 @@ def topic_matches(pattern: str, topic: str) -> bool:
     may appear anywhere — ``a.**.z`` matches ``a.z``, ``a.b.z`` and
     ``a.b.c.z`` but not ``a.b.c``.
     """
-    matcher = _compile(pattern)
+    matcher = compile_pattern(pattern)
     if matcher is None:
         return pattern == topic
     return matcher(topic)
@@ -82,8 +83,13 @@ def _segments_match(pats: list[str], tops: list[str]) -> bool:
 
 
 @lru_cache(maxsize=4096)
-def _compile(pattern: str) -> Optional[Callable[[str], bool]]:
+def compile_pattern(pattern: str) -> Optional[Callable[[str], bool]]:
     """Compile *pattern* to a matcher callable, or None when exact.
+
+    This is THE pattern-compiler: the bus dispatches through it at
+    subscribe time, and the static topic-flow analyzer
+    (:mod:`repro.analysis.flow`) imports it so compile-time matching
+    can never drift from runtime delivery semantics.
 
     Specializations, cheapest first: wildcard-free patterns need no
     matcher at all (the bus indexes them by topic); a single trailing

@@ -86,11 +86,15 @@ class _MonitorBase:
             if alert is not None:
                 self._alerts_ctr.inc(label=self.name)
         if self.bus is not None:
+            # Topic segments must stay dot-free (metric names such as
+            # "webcam-0.utilization" would otherwise add segments).
+            metric_seg = metric_name.replace(".", "-")
             self.bus.publish(
-                f"metrics.{self.kind}.{self.name}.{metric_name}",
+                f"monitor.metrics.{self.kind}.{self.name}.{metric_seg}",
                 {"time_s": time_s, "value": value})
             if alert is not None:
-                self.bus.publish(f"alerts.{self.kind}.{self.name}", alert)
+                self.bus.publish(
+                    f"monitor.alerts.{self.kind}.{self.name}", alert)
         return alert
 
     def all_alerts(self) -> list[Alert]:

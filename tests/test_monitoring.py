@@ -120,7 +120,8 @@ class TestApplicationMonitor:
     def test_bus_publication(self):
         bus = EventBus()
         seen = []
-        bus.subscribe("metrics.application.**", lambda t, p: seen.append(t))
+        bus.subscribe("monitor.metrics.application.**",
+                      lambda t, p: seen.append(t))
         mon = ApplicationMonitor("app", bus=bus)
         mon.record_completion(0, 0.05)
         assert seen
@@ -181,7 +182,7 @@ class TestInfrastructureMonitor:
     def test_alert_flows_to_bus(self):
         bus = EventBus()
         alerts = []
-        bus.subscribe("alerts.**", lambda t, p: alerts.append(p))
+        bus.subscribe("monitor.alerts.**", lambda t, p: alerts.append(p))
         mon = InfrastructureMonitor("infra", bus=bus)
         mon.metric("n.utilization", alert_above=0.8)
         mon._record("n.utilization", 0, 0.9)
@@ -194,7 +195,7 @@ class TestInfrastructureMonitor:
         # the first sample silently did nothing.
         bus = EventBus()
         alerts = []
-        bus.subscribe("alerts.**", lambda t, p: alerts.append(p))
+        bus.subscribe("monitor.alerts.**", lambda t, p: alerts.append(p))
         mon = InfrastructureMonitor("infra", bus=bus)
         mon._record("n.utilization", 0, 0.95)  # creates the series
         assert alerts == []
