@@ -321,3 +321,56 @@ def _analysis_flow_full(quick: bool):
     def run():
         run_flow(config)  # fresh ParseCache per batch: cold analysis
     return n_files, run
+
+
+# -- zone-sharded simulation ------------------------------------------------
+
+@scenario("sim.sharded.10k")
+def _sharded_scale(quick: bool):
+    """The continuum-scale scenario end to end: vectorized fleets on
+    zone shards behind epoch barriers, zone-0 aggregation, one outage.
+    ``n_ops`` counts device-steps, the unit the vectorization amortizes.
+    """
+    from repro.continuum.scale import ScaleConfig, run_scale_scenario
+
+    devices = 1_000 if quick else 10_000
+    horizon_s = 100.0 if quick else 500.0
+    config = ScaleConfig(devices=devices, zones=8, shards=8,
+                         horizon_s=horizon_s, barrier_record_every=100)
+    n_ops = devices * int(horizon_s / config.telemetry_period_s)
+
+    def run():
+        run_scale_scenario(config)
+    return n_ops, run
+
+
+@scenario("bus.publish.crossshard")
+def _crossshard_relay(quick: bool):
+    """Cross-shard relay throughput: two zones on two shards, every
+    publish tapped, buffered at the epoch barrier and re-injected into
+    the destination shard at its arrival time."""
+    from repro.runtime.shard import ShardedContext
+
+    n_ops = 2_000 if quick else 20_000
+
+    def run():
+        sharded = ShardedContext(seed=0, zones=("a", "b"), n_shards=2,
+                                 link_latency_s=0.5)
+        ctx_a, ctx_b = sharded.zone("a"), sharded.zone("b")
+        counter = [0]
+
+        def on_msg(topic, payload):
+            counter[0] += 1
+
+        ctx_b.subscribe("bench.relay.*", on_msg)
+
+        def sender():
+            timeout = ctx_a.sim.timeout
+            publish = ctx_a.publish
+            for i in range(n_ops):
+                yield timeout(0.01)
+                publish(f"bench.relay.m{i % _TOPIC_CYCLE}", i)
+
+        ctx_a.sim.process(sender())
+        sharded.run(until=n_ops * 0.01 + 2.0)
+    return n_ops, run

@@ -125,6 +125,22 @@ TOPIC_CONTRACTS: tuple[TopicContract, ...] = (
        description="hedge launched a backup attempt"),
     _c("chaos.breaker.state", required="breaker state time_s",
        description="circuit breaker transition"),
+    # -- zone-sharded simulation --------------------------------------------
+    _c("shard.partition.assign",
+       required="zone rank epoch_s lookahead_s time_s",
+       description="zone joined the sharded run (rank order; shard "
+                   "binding deliberately absent — see DESIGN.md)"),
+    _c("shard.epoch.barrier", required="epoch zone time_s",
+       description="conservative epoch barrier reached (sampled per "
+                   "barrier_record_every)"),
+    _c("shard.relay.deliver", required="epoch zone count time_s",
+       description="cross-shard messages injected into this zone at a "
+                   "barrier"),
+    _c("shard.fleet.telemetry.*",
+       required="zone time_s up utilization energy_j failures repairs",
+       consumed="bus",
+       description="per-zone vectorized fleet aggregate, keyed "
+                   "shard.fleet.telemetry.<zone>"),
     # -- monitoring ---------------------------------------------------------
     _c("monitor.metrics.*.*.*", required="time_s value",
        description="one sample, keyed "

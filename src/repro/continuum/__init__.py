@@ -42,8 +42,12 @@ from repro.continuum.workload import (
 from repro.continuum.infrastructure import (
     Infrastructure,
     OffloadStats,
+    ZonePartition,
     build_reference_infrastructure,
 )
+from repro.continuum.fleet import FLEET_TELEMETRY_TOPIC, DeviceFleet
+from repro.continuum.scale import ScaleConfig, ScaleResult, \
+    run_scale_scenario
 from repro.continuum.gateway import DeliveryRecord, Endpoint, GatewayHub
 from repro.continuum.endpoints import (
     ActuationRecord,
@@ -80,7 +84,13 @@ __all__ = [
     "TaskRequirements",
     "Infrastructure",
     "OffloadStats",
+    "ZonePartition",
     "build_reference_infrastructure",
+    "DeviceFleet",
+    "FLEET_TELEMETRY_TOPIC",
+    "ScaleConfig",
+    "ScaleResult",
+    "run_scale_scenario",
     "DeliveryRecord",
     "Endpoint",
     "GatewayHub",

@@ -48,6 +48,27 @@ class OffloadStats:
         return self.horizontal + self.vertical_up + self.vertical_down
 
 
+@dataclass(frozen=True)
+class ZonePartition:
+    """A zone decomposition of an infrastructure, for sharded simulation.
+
+    ``zones`` fixes the deterministic zone order (ranks) a
+    :class:`~repro.runtime.shard.ShardedContext` builds from;
+    ``min_cross_latency_s`` is the conservative lookahead bound — the
+    smallest effective latency over links whose endpoints live in
+    different zones (``inf`` when the partition cuts no links).
+    """
+
+    zones: tuple[str, ...]
+    assignment: dict[str, str] = field(default_factory=dict)
+    cross_links: tuple[tuple[str, str], ...] = ()
+    min_cross_latency_s: float = float("inf")
+
+    def devices_in(self, zone: str) -> list[str]:
+        """Device names assigned to *zone*, in assignment order."""
+        return [d for d, z in self.assignment.items() if z == zone]
+
+
 class Infrastructure:
     """A running continuum: devices, layers, and the connecting network.
 
@@ -175,6 +196,43 @@ class Infrastructure:
                     continue
             result.append(device)
         return result
+
+    def partition(self, by=None) -> ZonePartition:
+        """Decompose the infrastructure into zones for sharded simulation.
+
+        *by* names each device's zone: ``None`` partitions by layer
+        (cloud / fog / edge — the coarsest cut), a callable receives the
+        :class:`Device`, and a mapping is looked up by device name. The
+        returned :class:`ZonePartition` carries the sorted zone order,
+        the device assignment, the links the cut crosses and the minimum
+        effective cross-zone latency — the epoch lookahead a
+        :class:`~repro.runtime.shard.ShardedContext` must respect.
+        """
+        assignment: dict[str, str] = {}
+        for name, device in self.devices.items():
+            if by is None:
+                zone = device.spec.layer.value
+            elif callable(by):
+                zone = by(device)
+            else:
+                zone = by[name]
+            assignment[name] = str(zone)
+        cross = []
+        min_latency = float("inf")
+        for link in self.network.links:
+            zone_a = assignment.get(link.a)
+            zone_b = assignment.get(link.b)
+            if zone_a is None or zone_b is None or zone_a == zone_b:
+                continue
+            cross.append(link.key())
+            latency = link.effective_latency()
+            if latency < min_latency:
+                min_latency = latency
+        return ZonePartition(
+            zones=tuple(sorted(set(assignment.values()))),
+            assignment=assignment,
+            cross_links=tuple(sorted(cross)),
+            min_cross_latency_s=min_latency)
 
     def record_offload(self, src_device: str, dst_device: str) -> None:
         """Record a workload movement for the Fig. 2 offload statistics."""

@@ -1,0 +1,117 @@
+"""Continuum-scale scenario: a sharded city fabric of vectorized fleets.
+
+This is the 10k-device / 8-zone proof scenario behind
+``examples/continuum_scale.py`` and the ``sim.sharded.10k`` benchmark.
+Each zone hosts one :class:`~repro.continuum.fleet.DeviceFleet`
+(vectorized churn + telemetry), zone 0 aggregates every zone's fleet
+telemetry across shard boundaries, and one zone suffers a correlated
+outage mid-run — so a single scenario exercises the epoch relay, the
+chaos accounting and the merged-trace determinism contract at scale.
+
+``run_scale_scenario(config, n_shards=1)`` is the single-shard twin of
+``run_scale_scenario(config)``; their merged traces must be
+byte-identical (``ScaleResult.digest``) and their scorecards equal —
+tests and the CI ``scale-smoke`` job pin both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.continuum.fleet import DeviceFleet
+from repro.runtime.shard import ShardedContext
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs of the scale scenario; defaults are the flagship 10k run."""
+
+    devices: int = 10_000
+    zones: int = 8
+    shards: int = 8
+    horizon_s: float = 1000.0
+    seed: int = 0
+    telemetry_period_s: float = 10.0
+    #: Minimum cross-zone link latency — the epoch lookahead. A metro
+    #: backbone hop between zone aggregation points.
+    link_latency_s: float = 0.5
+    fail_rate_per_s: float = 2e-4
+    repair_rate_per_s: float = 5e-2
+    #: Zone index to knock dark mid-run (-1 disables the outage).
+    outage_zone: int = 1
+    outage_at_s: float = 300.0
+    outage_duration_s: float = 60.0
+    #: Sample shard.epoch.barrier records every N epochs so barrier
+    #: bookkeeping does not drown the trace at fine lookaheads.
+    barrier_record_every: int = 50
+    trace_capacity: int = 65536
+
+    def zone_names(self) -> list[str]:
+        return [f"zone-{i:02d}" for i in range(self.zones)]
+
+
+@dataclass
+class ScaleResult:
+    """A finished scale run: the sharded context, fleets and aggregate."""
+
+    sharded: ShardedContext
+    fleets: list[DeviceFleet]
+    aggregate: dict
+
+    def digest(self) -> str:
+        """SHA-256 of the merged trace (shard-count-invariant)."""
+        return self.sharded.digest()
+
+    def scorecard(self) -> dict:
+        """Deterministic run summary: per-zone resilience + aggregation.
+
+        Equal — key for key, float for float — between a sharded run
+        and its single-shard twin.
+        """
+        return {
+            "devices": sum(f.size for f in self.fleets),
+            "epochs": self.sharded.epoch,
+            "zones": [fleet.scorecard() for fleet in self.fleets],
+            "aggregator": self.aggregate,
+        }
+
+
+def run_scale_scenario(config: ScaleConfig = ScaleConfig(),
+                       n_shards: int | None = None) -> ScaleResult:
+    """Build and run the scenario; *n_shards* overrides ``config.shards``
+    (pass 1 for the determinism twin)."""
+    shards = config.shards if n_shards is None else n_shards
+    names = config.zone_names()
+    sharded = ShardedContext(
+        seed=config.seed, zones=names, n_shards=shards,
+        link_latency_s=config.link_latency_s,
+        barrier_record_every=config.barrier_record_every,
+        trace_capacity=config.trace_capacity)
+
+    # Zone 0 aggregates fleet telemetry from every zone; samples from
+    # other zones cross shard boundaries through the epoch relay.
+    aggregate: dict = {"samples": 0, "zones": {}}
+
+    def on_telemetry(topic: str, payload: dict) -> None:
+        aggregate["samples"] += 1
+        aggregate["zones"][payload["zone"]] = payload["up"]
+
+    ctx = sharded.zone(names[0])
+    ctx.subscribe("shard.fleet.telemetry.*", on_telemetry)
+
+    fleets = []
+    base, rem = divmod(config.devices, config.zones)
+    for i, name in enumerate(names):
+        size = base + (1 if i < rem else 0)
+        fleet = DeviceFleet(
+            name, size, ctx=sharded.zone(name),
+            fail_rate_per_s=config.fail_rate_per_s,
+            repair_rate_per_s=config.repair_rate_per_s)
+        if i == config.outage_zone:
+            fleet.schedule_outage(config.outage_at_s,
+                                  config.outage_duration_s)
+        fleet.start(config.telemetry_period_s)
+        fleets.append(fleet)
+
+    sharded.run(until=config.horizon_s)
+    return ScaleResult(sharded=sharded, fleets=fleets, aggregate=aggregate)

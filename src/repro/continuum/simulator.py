@@ -160,21 +160,31 @@ class Process(Event):
 
     __slots__ = ("generator", "name", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        super().__init__(sim)
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):  # perf: hot
+        # Inlined Event.__init__ for self and for the immediate
+        # initialization event (same treatment as Timeout): process
+        # construction dominates churn-heavy scenarios, and the two
+        # super()/ctor dispatches are measurable at fleet scale.
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._ok = None
+        self._defused = False
         if not hasattr(generator, "send"):
             raise TypeError("process() requires a generator")
         self.generator = generator
         self.name = name or getattr(generator, "__name__", "process")
-        self._waiting_on: Optional[Event] = None
+        self._waiting_on = None
         # Kick off on construction via an immediate initialization event.
-        init = Event(sim)
-        init._ok = True
+        init = Event.__new__(Event)
+        init.sim = sim
+        init.callbacks = [self._resume]
         init._value = None
+        init._ok = True
+        init._defused = False
         heappush(sim._queue,
                  (sim._now, (URGENT << _SEQ_BITS) | sim._seq, init))
         sim._seq += 1
-        init.callbacks.append(self._resume)
 
     @property
     def is_alive(self) -> bool:

@@ -9,11 +9,13 @@ segments, anywhere in the pattern).
 Dispatch is index-based: patterns are compiled once at subscribe time —
 wildcard-free patterns land in an exact-topic dict, wildcard patterns
 get a specialized matcher (prefix test for trailing ``**``, fixed-length
-segment walk for ``*``-only, an iterative NFA for mid-pattern ``**``) —
-and per-topic delivery lists are cached on the bus, invalidated on every
-subscribe/unsubscribe. Publishing to a previously seen topic is a dict
-lookup plus the handler calls, independent of how many subscriptions
-exist.
+segment walk for ``*``-only, an iterative NFA with literal prefix/suffix
+guards for mid-pattern ``**``) and are bucketed by their literal first
+segment so a topic is only tested against wildcards that could match it
+— and per-topic delivery lists are cached on the bus, invalidated on
+every subscribe/unsubscribe. Publishing to a previously seen topic is a
+dict lookup plus the handler calls, independent of how many
+subscriptions exist.
 """
 
 from __future__ import annotations
@@ -123,7 +125,28 @@ def compile_pattern(pattern: str) -> Optional[Callable[[str], bool]]:
             return True
         return match_stars
 
-    def match_nfa(topic: str, _segs=segs) -> bool:
+    # Mid-pattern ``**``: guard the NFA walk with the pattern's literal
+    # prefix (segments before the first wildcard) and literal suffix
+    # (segments after the last wildcard). Both are implied by the NFA
+    # semantics — a topic failing either can never match — and each is
+    # a single C-level string test, so non-matching topics skip the
+    # set-of-states simulation entirely.
+    lead = 0
+    while segs[lead] != "*" and segs[lead] != "**":
+        lead += 1
+    prefix_dot = ".".join(segs[:lead]) + "." if lead else ""
+    tail = len(segs)
+    while segs[tail - 1] != "*" and segs[tail - 1] != "**":
+        tail -= 1
+    suffix = ".".join(segs[tail:])
+    suffix_dot = "." + suffix
+
+    def match_nfa(topic: str, _segs=segs, _pre=prefix_dot,
+                  _suf=suffix, _sufd=suffix_dot) -> bool:
+        if _pre and not topic.startswith(_pre):
+            return False
+        if _suf and topic != _suf and not topic.endswith(_sufd):
+            return False
         return _nfa_match(_segs, topic.split("."))
     return match_nfa
 
@@ -171,8 +194,14 @@ class EventBus:
         self._subs: list[Subscription] = []
         #: Exact (wildcard-free) patterns: topic -> subscriptions.
         self._exact: dict[str, list[Subscription]] = {}
-        #: Wildcard subscriptions, insertion order.
-        self._wild: list[Subscription] = []
+        #: Wildcard subscriptions whose first segment is a literal,
+        #: bucketed by that segment: only topics sharing the segment can
+        #: match, so dispatch for a topic probes one bucket instead of
+        #: walking every wildcard subscription.
+        self._wild_first: dict[str, list[Subscription]] = {}
+        #: Wildcard subscriptions starting with ``*``/``**`` — the only
+        #: ones every topic must be tested against.
+        self._wild_any: list[Subscription] = []
         #: topic -> ordered tuple of matching subscriptions (bounded).
         self._dispatch_cache: dict[str, tuple[Subscription, ...]] = {}
         self._order = 0
@@ -184,12 +213,20 @@ class EventBus:
         sub = Subscription(pattern, handler, order=self._order)
         self._order += 1
         self._subs.append(sub)
-        if sub.matcher is None:
-            self._exact.setdefault(pattern, []).append(sub)
-        else:
-            self._wild.append(sub)
+        self._index(sub)
         self._dispatch_cache.clear()
         return sub
+
+    def _index(self, sub: Subscription) -> None:
+        """File *sub* in the exact dict or a wildcard bucket."""
+        if sub.matcher is None:
+            self._exact.setdefault(sub.pattern, []).append(sub)
+            return
+        first = sub.pattern.split(".", 1)[0]
+        if first == "*" or first == "**":
+            self._wild_any.append(sub)
+        else:
+            self._wild_first.setdefault(first, []).append(sub)
 
     def unsubscribe(self, sub: Subscription) -> None:
         """Deactivate a subscription; it will receive no further events.
@@ -211,12 +248,10 @@ class EventBus:
         live = [s for s in self._subs if s.active]
         self._subs = live
         self._exact = {}
-        self._wild = []
+        self._wild_first = {}
+        self._wild_any = []
         for sub in live:
-            if sub.matcher is None:
-                self._exact.setdefault(sub.pattern, []).append(sub)
-            else:
-                self._wild.append(sub)
+            self._index(sub)
         self._dead = 0
 
     def publish(self, topic: str, payload: Any = None) -> int:  # perf: hot
@@ -240,7 +275,12 @@ class EventBus:
     def _build_dispatch(self, topic: str) -> tuple[Subscription, ...]:
         """Resolve and cache the delivery list for *topic*."""
         matched = [s for s in self._exact.get(topic, ()) if s.active]
-        for sub in self._wild:
+        bucket = self._wild_first.get(topic.split(".", 1)[0])
+        if bucket is not None:
+            for sub in bucket:
+                if sub.active and sub.matcher(topic):
+                    matched.append(sub)
+        for sub in self._wild_any:
             if sub.active and sub.matcher(topic):
                 matched.append(sub)
         matched.sort(key=_by_order)

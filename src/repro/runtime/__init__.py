@@ -14,13 +14,16 @@ from repro.runtime.context import (
     as_simulator,
     ensure_context,
 )
+from repro.runtime.shard import ShardedContext, ZoneRuntime
 from repro.runtime.trace import TraceRecord, TraceRecorder, jsonify
 
 __all__ = [
     "RuntimeContext",
+    "ShardedContext",
     "TracedEventBus",
     "TraceRecord",
     "TraceRecorder",
+    "ZoneRuntime",
     "as_simulator",
     "ensure_context",
     "jsonify",

@@ -1,0 +1,383 @@
+"""Zone-sharded simulation: conservative epoch barriers over zone runtimes.
+
+City-scale scenarios (10k+ devices) cannot run through one monolithic
+:class:`~repro.continuum.simulator.Simulator` heap and one global bus.
+A :class:`ShardedContext` partitions the continuum *by zone*: every zone
+gets its own logical runtime view (a :class:`~repro.runtime.context.
+RuntimeContext` with its own RNG seed subtree, trace recorder and traced
+bus), and zones are grouped onto physical shards — one ``Simulator``
+heap per shard. Shards advance independently inside an epoch and
+synchronize at conservative barriers.
+
+Determinism argument (the invariant everything here serves): the *zone*,
+not the shard, is the unit of determinism. A zone's seed subtree is
+derived from the root seed and the zone *name* (never the shard id), its
+trace records carry zone-local sequence numbers, and zones interact only
+through the epoch relay, whose buffering and delivery order is a pure
+function of (epoch, zone rank, per-pair sequence). Regrouping zones onto
+a different shard count therefore cannot change any zone's record
+stream, and the merged trace — sorted by ``(time_s, zone rank, zone
+seq)`` — is byte-identical between a single-shard and an N-shard run of
+the same scenario and seed. ``tests/test_sharded.py`` pins this with a
+hypothesis property over random partitions and seeds.
+
+Epoch-barrier protocol: the epoch length is bounded by the *lookahead*,
+the minimum cross-zone link latency. Any message published in epoch k
+(send time t) physically arrives no earlier than ``t + lookahead >=
+barrier(k)``, so shards can drain epoch k without seeing each other's
+traffic; at the barrier each buffered message is injected into its
+destination shard as a DES event at its true arrival time ``t +
+link_latency``. Injection iterates destination zones in rank order,
+source zones in rank order and messages in send order — the
+deterministic ``(epoch, zone_rank, seq)`` delivery order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.errors import ConfigurationError, NotFoundError
+from repro.core.rng import derive_seed
+from repro.runtime.context import RuntimeContext
+from repro.runtime.trace import TraceRecord
+
+_INF = float("inf")
+
+#: Topics the epoch machinery itself publishes (declared as contracts in
+#: :mod:`repro.analysis.flow.topics`).
+PARTITION_TOPIC = "shard.partition.assign"
+BARRIER_TOPIC = "shard.epoch.barrier"
+RELAY_TOPIC = "shard.relay.deliver"
+
+
+class ZoneRuntime:
+    """One zone's logical runtime view inside a :class:`ShardedContext`.
+
+    Owns the zone's :class:`RuntimeContext` (seed subtree, trace, bus —
+    the ``Simulator`` underneath is the *shard's* heap, shared with the
+    other zones grouped on that shard). Scenario code builds a zone's
+    devices, fleets and subscriptions against :attr:`ctx` exactly as it
+    would against a standalone context.
+    """
+
+    __slots__ = ("name", "rank", "shard", "ctx", "suppress_seq")
+
+    def __init__(self, name: str, rank: int, shard: int,
+                 ctx: RuntimeContext):
+        self.name = name
+        self.rank = rank
+        self.shard = shard
+        self.ctx = ctx
+        #: Trace seq of an in-flight relay delivery on this zone's bus;
+        #: relay taps skip that publish so a message is relayed once,
+        #: from its origin zone, never re-forwarded by a destination.
+        self.suppress_seq = -1
+
+
+class ShardedContext:
+    """Coordinates per-shard simulators under conservative epoch barriers.
+
+    ``zones`` fixes the zone names and their ranks (list order); zones
+    are grouped onto ``n_shards`` simulator heaps in contiguous rank
+    blocks. ``link_latency_s`` is the minimum cross-zone link latency —
+    the lookahead that bounds the epoch length; ``epoch_s`` may shorten
+    (never stretch) the epoch below the lookahead.
+
+    The sharding is *invisible* to the scenario: the epoch grid, the
+    relay order and every zone's record stream depend only on the zone
+    list, the seed and the latency configuration — see the module
+    docstring for the determinism argument.
+    """
+
+    def __init__(self, seed: int = 0, zones: Sequence[str] = ("zone-00",),
+                 n_shards: int = 1, *, link_latency_s: float | None = None,
+                 epoch_s: float | None = None, start_time: float = 0.0,
+                 trace_capacity: int = 65536,
+                 barrier_record_every: int = 1):
+        names = list(zones)
+        if not names:
+            raise ConfigurationError("at least one zone is required")
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate zone names in {names}")
+        if link_latency_s is not None and link_latency_s <= 0:
+            raise ConfigurationError("cross-zone link latency must be > 0")
+        if epoch_s is not None and epoch_s <= 0:
+            raise ConfigurationError("epoch_s must be > 0")
+        if barrier_record_every < 1:
+            raise ConfigurationError("barrier_record_every must be >= 1")
+        self.seed = int(seed)
+        self.n_shards = max(1, min(int(n_shards), len(names)))
+        self.link_latency_s = link_latency_s
+        #: Conservative lookahead: how far a shard may run ahead without
+        #: missing cross-zone traffic. Never smaller than the minimum
+        #: cross-zone link latency (it *is* that latency).
+        self.lookahead_s = link_latency_s if link_latency_s is not None \
+            else _INF
+        self.epoch_s = min(epoch_s, self.lookahead_s) \
+            if epoch_s is not None else self.lookahead_s
+        self._start = float(start_time)
+        self._now = self._start
+        self._epoch = 0
+        self._barrier_record_every = barrier_record_every
+
+        # One DES heap per shard; runtime/ is the allowlisted home for
+        # direct Simulator construction (continuum-lint).
+        from repro.continuum.simulator import Simulator
+        self._sims = [Simulator(start_time) for _ in range(self.n_shards)]
+        self._zones: list[ZoneRuntime] = []
+        self._by_name: dict[str, ZoneRuntime] = {}
+        n = len(names)
+        for rank, name in enumerate(names):
+            shard = rank * self.n_shards // n
+            # The seed subtree hangs off the zone *name*: invariant to
+            # zone order, shard count and shard assignment.
+            ctx = RuntimeContext(
+                seed=derive_seed(self.seed, f"shard.zone.{name}"),
+                start_time=start_time, trace_capacity=trace_capacity,
+                sim=self._sims[shard])
+            zone = ZoneRuntime(name, rank, shard, ctx)
+            self._zones.append(zone)
+            self._by_name[name] = zone
+
+        # Relay state: per (src_rank, dest_rank) message buffers filled
+        # by taps during an epoch, drained at the barrier. Markers hold
+        # the last relayed publish id per pair (a publish matching
+        # several tapped patterns is buffered once).
+        self._outbox: dict[tuple[int, int], list] = {}
+        self._marks: dict[tuple[int, int], list[int]] = {}
+        self._tapped: set[tuple[int, int, str]] = set()
+        self._sub_watermark = -1
+
+        epoch_payload = None if self.epoch_s == _INF else self.epoch_s
+        lookahead_payload = None if self.lookahead_s == _INF \
+            else self.lookahead_s
+        for zone in self._zones:
+            zone.ctx.publish("shard.partition.assign", {
+                "zone": zone.name, "rank": zone.rank,
+                "epoch_s": epoch_payload,
+                "lookahead_s": lookahead_payload,
+                "time_s": self._start})
+
+    @classmethod
+    def for_partition(cls, partition: Any, *, seed: int = 0,
+                      n_shards: int = 1, **kwargs: Any) -> "ShardedContext":
+        """Build from a :meth:`~repro.continuum.infrastructure.
+        Infrastructure.partition` result: zone ranks follow the
+        partition's zone order and the lookahead is its minimum
+        cross-zone link latency."""
+        latency = partition.min_cross_latency_s
+        if latency == _INF:
+            latency = None
+        return cls(seed=seed, zones=partition.zones, n_shards=n_shards,
+                   link_latency_s=latency, **kwargs)
+
+    # -- zone access -------------------------------------------------------
+
+    @property
+    def zones(self) -> list[str]:
+        """Zone names in rank order."""
+        return [z.name for z in self._zones]
+
+    @property
+    def zone_runtimes(self) -> list[ZoneRuntime]:
+        return list(self._zones)
+
+    def zone(self, name: str) -> RuntimeContext:
+        """The :class:`RuntimeContext` scenario code builds zone *name* on."""
+        try:
+            return self._by_name[name].ctx
+        except KeyError:
+            raise NotFoundError(f"unknown zone {name!r}") from None
+
+    def shard_of(self, name: str) -> int:
+        """Physical shard index a zone is grouped on (execution detail —
+        never observable in the merged trace)."""
+        return self._by_name[name].shard
+
+    @property
+    def now(self) -> float:
+        """Barrier-synchronized simulated time."""
+        return self._now
+
+    @property
+    def epoch(self) -> int:
+        """Completed epoch count."""
+        return self._epoch
+
+    # -- cross-zone relay --------------------------------------------------
+
+    def _refresh_relays(self) -> None:
+        """(Re)install relay taps: for every pattern some zone subscribes
+        to, every *other* zone's bus gets a tap buffering matching
+        publishes for barrier delivery. Idempotent; re-run whenever a
+        subscription was added since the last barrier."""
+        watermark = sum(z.ctx.bus._order for z in self._zones)
+        if watermark == self._sub_watermark:
+            return
+        self._sub_watermark = watermark
+        for dest in self._zones:
+            patterns: list[str] = []
+            seen: set[str] = set()
+            for sub in dest.ctx.bus._subs:
+                if sub.active and sub.pattern not in seen:
+                    seen.add(sub.pattern)
+                    patterns.append(sub.pattern)
+            for src in self._zones:
+                if src is dest:
+                    continue
+                pair = (src.rank, dest.rank)
+                if pair not in self._outbox:
+                    self._outbox[pair] = []
+                    self._marks[pair] = [-1]
+                tap = None
+                for pattern in patterns:
+                    key = (src.rank, dest.rank, pattern)
+                    if key in self._tapped:
+                        continue
+                    if tap is None:
+                        tap = self._make_tap(src, pair)
+                    self._tapped.add(key)
+                    src.ctx.bus.subscribe(pattern, tap)
+        if self._tapped and self.lookahead_s == _INF:
+            raise ConfigurationError(
+                "zones subscribe to each other's topics but no "
+                "cross-zone link latency is configured; pass "
+                "link_latency_s= so the epoch barrier has a lookahead")
+
+    def _make_tap(self, src: ZoneRuntime, pair: tuple[int, int]):
+        outbox = self._outbox[pair]
+        mark = self._marks[pair]
+        trace = src.ctx.trace
+        sim = src.ctx.sim
+
+        def tap(topic: str, payload: Any) -> None:
+            # trace._seq is unique per publish on this zone (the traced
+            # bus records before delivery), so it both dedupes a publish
+            # matching several tapped patterns and identifies the relay's
+            # own delivery publish (suppress_seq) to stop re-forwarding.
+            pub = trace._seq
+            if mark[0] == pub or src.suppress_seq == pub:
+                return
+            mark[0] = pub
+            outbox.append((sim.now, topic, payload))
+        return tap
+
+    def _deliver(self, dest: ZoneRuntime, topic: str, payload: Any) -> None:
+        dest.suppress_seq = dest.ctx.trace._seq + 1
+        dest.ctx.bus.publish(topic, payload)
+        dest.suppress_seq = -1
+
+    def _flush(self, epoch: int, t_barrier: float) -> None:
+        """Barrier: inject buffered cross-zone messages into their
+        destination shards at true arrival times, in deterministic
+        (epoch, zone_rank, seq) order."""
+        latency = self.link_latency_s or 0.0
+        record_barrier = epoch % self._barrier_record_every == 0
+        for dest in self._zones:
+            count = 0
+            for src in self._zones:
+                if src is dest:
+                    continue
+                batch = self._outbox.get((src.rank, dest.rank))
+                if not batch:
+                    continue
+                sim = dest.ctx.sim
+                for send_s, topic, payload in batch:
+                    # Mathematically send + latency >= barrier; clamp the
+                    # one-ulp float shortfall when the sum rounds below
+                    # the epoch-grid boundary (same clamp on every shard
+                    # count — the grid is computed identically).
+                    delay = send_s + latency - sim.now
+                    arrival = sim.timeout(delay if delay > 0.0 else 0.0)
+                    arrival.add_callback(
+                        lambda _ev, _z=dest, _t=topic, _p=payload:
+                        self._deliver(_z, _t, _p))
+                    count += 1
+                batch.clear()
+            if count:
+                dest.ctx.publish("shard.relay.deliver", {
+                    "epoch": epoch, "zone": dest.name, "count": count,
+                    "time_s": t_barrier})
+            if record_barrier:
+                dest.ctx.publish("shard.epoch.barrier", {
+                    "epoch": epoch, "zone": dest.name,
+                    "time_s": t_barrier})
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance every shard to *until* through the epoch-barrier loop.
+
+        ``until`` must be finite: an unbounded drain has no barrier
+        schedule. The epoch grid is anchored at the start time —
+        ``barrier(k) = start + (k+1) * epoch_s`` — so it is identical
+        for every shard count and for any sequence of ``run()`` calls
+        ending at the same horizon.
+        """
+        deadline = float(until)
+        if deadline == _INF:
+            raise ConfigurationError(
+                "ShardedContext.run() needs a finite horizon")
+        if deadline < self._now:
+            raise ConfigurationError("run(until=...) lies in the past")
+        self._refresh_relays()
+        while self._now < deadline:
+            if self.epoch_s == _INF:
+                boundary = deadline
+            else:
+                boundary = self._start + (self._epoch + 1) * self.epoch_s
+            t_next = min(boundary, deadline)
+            for sim in self._sims:
+                sim.run(until=t_next)
+            self._flush(self._epoch, t_next)
+            self._now = t_next
+            if boundary <= deadline:
+                self._epoch += 1
+            # Taps for subscriptions added during the epoch take effect
+            # at the barrier — identically for every shard count.
+            self._refresh_relays()
+
+    # -- merged trace ------------------------------------------------------
+
+    def merged_records(self) -> list[tuple[str, TraceRecord]]:
+        """Every zone's retained records as one globally ordered stream.
+
+        Sorted by ``(time_s, zone_rank, zone_seq)`` — a total order that
+        is a pure function of the per-zone record streams, hence
+        shard-count-invariant.
+        """
+        keyed = [(rec.time_s, zone.rank, rec.seq, zone.name, rec)
+                 for zone in self._zones for rec in zone.ctx.trace]
+        keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+        return [(name, rec) for _, _, _, name, rec in keyed]
+
+    def to_jsonl(self) -> str:
+        """The merged trace as deterministic JSONL (global seq, zone tag)."""
+        lines = []
+        for seq, (zone_name, rec) in enumerate(self.merged_records()):
+            obj = {"seq": seq, "zone": zone_name, "time_s": rec.time_s,
+                   "topic": rec.topic, "payload": rec.payload}
+            if rec.span is not None:
+                obj["span"] = rec.span
+            lines.append(json.dumps(obj, sort_keys=True,
+                                    separators=(",", ":")))
+        return "\n".join(lines)
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write the merged trace to *path*; returns records written."""
+        text = self.to_jsonl()
+        Path(path).write_text(text + ("\n" if text else ""))
+        return text.count("\n") + 1 if text else 0
+
+    def digest(self) -> str:
+        """SHA-256 over the merged trace bytes — the replay fingerprint
+        the scale example and CI pin."""
+        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ShardedContext(seed={self.seed}, "
+                f"zones={len(self._zones)}, shards={self.n_shards}, "
+                f"now={self._now}, epoch={self._epoch})")
