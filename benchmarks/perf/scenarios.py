@@ -344,6 +344,52 @@ def _sharded_scale(quick: bool):
     return n_ops, run
 
 
+@scenario("sim.sharded.parallel.10k")
+def _sharded_scale_parallel(quick: bool):
+    """The same continuum-scale scenario on the multiprocess backend:
+    two worker processes, cross-worker relay routed through the
+    coordinator, trace batches streamed back per epoch. Wall-clock
+    gains require >= 2 physical cores; the digest contract holds
+    everywhere. ``n_ops`` counts device-steps, like ``sim.sharded.10k``.
+    """
+    from repro.continuum.scale import ScaleConfig, run_scale_scenario
+
+    devices = 5_000 if quick else 10_000
+    horizon_s = 200.0 if quick else 500.0
+    # Quick mode widens the lookahead so barrier IPC and worker spawn
+    # amortize the way the full run does — otherwise the CI-sized run
+    # measures pipe round-trips, not the backend.
+    latency = 5.0 if quick else 0.5
+    config = ScaleConfig(devices=devices, zones=8, shards=8,
+                         horizon_s=horizon_s, link_latency_s=latency,
+                         barrier_record_every=100)
+    n_ops = devices * int(horizon_s / config.telemetry_period_s)
+
+    def run():
+        run_scale_scenario(config, workers=2)
+    return n_ops, run
+
+
+@scenario("fleet.step.100k")
+def _fleet_step_100k(quick: bool):
+    """Vectorized fleet stepping at the 100k-preset zone size: one
+    DeviceFleet holding a full zone's population, stepped with the
+    batched draw pair. ``n_ops`` counts device-steps — per-fleet memory
+    stays flat (six arrays), whatever the population."""
+    from repro.continuum.fleet import DeviceFleet
+    from repro.runtime.context import RuntimeContext
+
+    size = 10_000 if quick else 100_000
+    steps = 5 if quick else 10
+    fleet = DeviceFleet("bench-100k", size, ctx=RuntimeContext(seed=3),
+                        fail_rate_per_s=2e-4, repair_rate_per_s=5e-2)
+
+    def run():
+        for _ in range(steps):
+            fleet.step(10.0)
+    return size * steps, run
+
+
 @scenario("bus.publish.crossshard")
 def _crossshard_relay(quick: bool):
     """Cross-shard relay throughput: two zones on two shards, every

@@ -1,59 +1,82 @@
-"""Continuum-scale demo: 10k devices across 8 zone-sharded simulators.
+"""Continuum-scale demo: 10k-100k devices across zone-sharded simulators.
 
 Runs the :mod:`repro.continuum.scale` scenario — per-zone vectorized
 device fleets, cross-shard telemetry aggregation through conservative
 epoch barriers, one correlated zone outage — and prints the resilience
-scorecard. The same seed always yields the same merged trace, whatever
-the shard count:
+scorecard plus a wall-clock summary. The same seed always yields the
+same merged trace, whatever the shard count *or* worker-process count:
 
     PYTHONPATH=src python examples/continuum_scale.py
+    PYTHONPATH=src python examples/continuum_scale.py --preset 100k \
+        --workers 4
     PYTHONPATH=src python examples/continuum_scale.py \
-        --devices 1000 --zones 4 --shards 4 --horizon 200 \
+        --devices 1000 --zones 4 --shards 4 --horizon 200 --workers 2 \
         --check examples/continuum_scale.digest
 
-``--check`` additionally runs the single-shard twin, verifies the two
-merged traces are byte-identical, and compares the digest against the
-committed fingerprint (the CI ``scale-smoke`` gate).
+``--workers N`` (N >= 1) runs the multiprocess backend — one worker
+process per shard heap; ``--workers 0`` (default) runs sequentially in
+one interpreter. ``--check`` additionally runs the sequential
+single-shard twin, verifies the merged traces are byte-identical, and
+compares the digest against the committed fingerprint (the CI
+``scale-smoke`` gate, sequential-vs-parallel matrix).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.continuum import ScaleConfig, run_scale_scenario
 
+PRESETS = {
+    "10k": ScaleConfig(),
+    "100k": ScaleConfig.metro_100k(),
+}
+
 
 def build_config(args: argparse.Namespace) -> ScaleConfig:
-    return ScaleConfig(devices=args.devices, zones=args.zones,
-                       shards=args.shards, horizon_s=args.horizon,
-                       seed=args.seed)
+    base = PRESETS[args.preset]
+    overrides = {name: value for name, value in (
+        ("devices", args.devices), ("zones", args.zones),
+        ("shards", args.shards), ("horizon_s", args.horizon),
+        ("seed", args.seed)) if value is not None}
+    from dataclasses import replace
+    return replace(base, **overrides) if overrides else base
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument("--devices", type=int, default=10_000)
-    parser.add_argument("--zones", type=int, default=8)
-    parser.add_argument("--shards", type=int, default=8)
-    parser.add_argument("--horizon", type=float, default=1000.0)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--preset", choices=sorted(PRESETS),
+                        default="10k",
+                        help="base configuration (flags below override)")
+    parser.add_argument("--devices", type=int, default=None)
+    parser.add_argument("--zones", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=None)
+    parser.add_argument("--horizon", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="worker processes (0 = sequential backend)")
     parser.add_argument("--export", type=Path, metavar="JSONL",
                         help="write the merged trace to this path")
     parser.add_argument("--check", type=Path, metavar="DIGEST_FILE",
-                        help="verify sharded == single-shard and match "
-                             "the committed digest")
+                        help="verify against the sequential single-shard "
+                             "twin and the committed digest")
     parser.add_argument("--write-digest", type=Path, metavar="DIGEST_FILE",
                         help="(re)write the committed digest file")
     args = parser.parse_args(argv)
     config = build_config(args)
 
-    result = run_scale_scenario(config)
+    wall_start = time.perf_counter()
+    result = run_scale_scenario(config, workers=args.workers)
+    wall_s = time.perf_counter() - wall_start
     digest = result.digest()
     scorecard = result.scorecard()
+    backend = f"parallel x{args.workers}" if args.workers else "sequential"
     print(f"devices={scorecard['devices']} zones={config.zones} "
           f"shards={config.shards} horizon={config.horizon_s}s "
-          f"epochs={scorecard['epochs']}")
+          f"epochs={scorecard['epochs']} backend={backend}")
     print(f"{'zone':<10} {'up':>6} {'fail':>6} {'repair':>7} "
           f"{'avail':>8} {'energy_kj':>10}")
     for zone in scorecard["zones"]:
@@ -62,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
               f"{zone['energy_j'] / 1e3:>10.1f}")
     print(f"aggregated samples at zone-00: "
           f"{scorecard['aggregator']['samples']}")
+    events = result.sharded.events_executed
+    print(f"wall-clock: devices={scorecard['devices']} "
+          f"zones={config.zones} sim_s={config.horizon_s:g} "
+          f"wall_s={wall_s:.2f} events={events} "
+          f"events_per_s={events / wall_s:,.0f} workers={args.workers}")
     print(f"merged trace digest: {digest}")
 
     if args.export:
@@ -73,9 +101,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote digest to {args.write_digest}")
 
     if args.check:
-        twin = run_scale_scenario(config, n_shards=1)
+        twin = run_scale_scenario(config, n_shards=1, workers=0)
         if twin.digest() != digest:
-            print("FAIL: single-shard twin trace differs from sharded run")
+            print("FAIL: single-shard twin trace differs from "
+                  f"{backend} run")
             return 1
         if twin.scorecard() != scorecard:
             print("FAIL: single-shard twin scorecard differs")
@@ -85,7 +114,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"FAIL: digest mismatch\n  committed: {committed}\n"
                   f"  computed:  {digest}")
             return 1
-        print("check passed: sharded == single-shard == committed digest")
+        print(f"check passed: {backend} == single-shard == "
+              "committed digest")
     return 0
 
 

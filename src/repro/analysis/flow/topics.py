@@ -126,16 +126,21 @@ TOPIC_CONTRACTS: tuple[TopicContract, ...] = (
     _c("chaos.breaker.state", required="breaker state time_s",
        description="circuit breaker transition"),
     # -- zone-sharded simulation --------------------------------------------
+    # Emitted identically by both shard backends (ShardedContext and the
+    # multiprocess ParallelShardedContext) — the merged-trace digest is
+    # byte-identical across them, so the contracts below are
+    # backend-agnostic.
     _c("shard.partition.assign",
        required="zone rank epoch_s lookahead_s time_s",
-       description="zone joined the sharded run (rank order; shard "
-                   "binding deliberately absent — see DESIGN.md)"),
+       description="zone joined the sharded run (rank order; shard/"
+                   "worker binding deliberately absent — see DESIGN.md)"),
     _c("shard.epoch.barrier", required="epoch zone time_s",
        description="conservative epoch barrier reached (sampled per "
                    "barrier_record_every)"),
     _c("shard.relay.deliver", required="epoch zone count time_s",
        description="cross-shard messages injected into this zone at a "
-                   "barrier"),
+                   "barrier (pipe-routed when zones live in worker "
+                   "processes)"),
     _c("shard.fleet.telemetry.*",
        required="zone time_s up utilization energy_j failures repairs",
        consumed="bus",

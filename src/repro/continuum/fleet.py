@@ -83,13 +83,13 @@ class DeviceFleet:
 
     # -- stepping ----------------------------------------------------------
 
-    def step(self, dt_s: float) -> None:
+    def step(self, dt_s: float, *, publish: bool = True) -> None:
         """Advance every device by *dt_s* with one vectorized draw pair."""
         u_churn = self._rng.random(self.size)
         u_load = self._rng.random(self.size)
-        self._apply(dt_s, u_churn, u_load)
+        self._apply(dt_s, u_churn, u_load, publish)
 
-    def step_reference(self, dt_s: float) -> None:
+    def step_reference(self, dt_s: float, *, publish: bool = True) -> None:
         """Scalar twin of :meth:`step`: per-device draws in index order.
 
         Exists so tests can pin the vectorized path to the per-device
@@ -97,10 +97,10 @@ class DeviceFleet:
         """
         u_churn = np.array([self._rng.random() for _ in range(self.size)])
         u_load = np.array([self._rng.random() for _ in range(self.size)])
-        self._apply(dt_s, u_churn, u_load)
+        self._apply(dt_s, u_churn, u_load, publish)
 
     def _apply(self, dt_s: float, u_churn: np.ndarray,
-               u_load: np.ndarray) -> None:
+               u_load: np.ndarray, publish: bool = True) -> None:
         p_fail = -math.expm1(-self.fail_rate_per_s * dt_s)
         p_repair = -math.expm1(-self.repair_rate_per_s * dt_s)
         was_up = self.up
@@ -124,6 +124,10 @@ class DeviceFleet:
         self.downtime_s += dt_s * ~up
         self.steps += 1
         self.elapsed_s += dt_s
+        if not publish:
+            # Batched telemetry: churn accounting and the RNG stream
+            # advanced as usual, only the publish is skipped.
+            return
         self.ctx.publish(f"shard.fleet.telemetry.{self.zone}", {
             "zone": self.zone,
             "time_s": self.ctx.now,
@@ -134,18 +138,25 @@ class DeviceFleet:
             "repairs": self.repairs,
         })
 
-    def start(self, period_s: float) -> None:
-        """Drive :meth:`step` every *period_s* on the zone's simulator."""
+    def start(self, period_s: float, *, every: int = 1) -> None:
+        """Drive :meth:`step` every *period_s* on the zone's simulator.
+
+        *every* batches telemetry: devices still step (and consume
+        draws) each period, but only every Nth step publishes — the
+        trace shrinks by ~N while the churn replay stays identical.
+        """
         if period_s <= 0:
             raise ConfigurationError("fleet period must be > 0")
-        self.ctx.sim.process(self._drive(period_s),
+        if every < 1:
+            raise ConfigurationError("telemetry batching must be >= 1")
+        self.ctx.sim.process(self._drive(period_s, every),
                              name=f"fleet-{self.zone}")
 
-    def _drive(self, period_s: float):
+    def _drive(self, period_s: float, every: int):
         timeout = self.ctx.sim.timeout
         while True:
             yield timeout(period_s)
-            self.step(period_s)
+            self.step(period_s, publish=(self.steps + 1) % every == 0)
 
     # -- chaos -------------------------------------------------------------
 

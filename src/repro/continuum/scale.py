@@ -1,24 +1,38 @@
 """Continuum-scale scenario: a sharded city fabric of vectorized fleets.
 
 This is the 10k-device / 8-zone proof scenario behind
-``examples/continuum_scale.py`` and the ``sim.sharded.10k`` benchmark.
-Each zone hosts one :class:`~repro.continuum.fleet.DeviceFleet`
-(vectorized churn + telemetry), zone 0 aggregates every zone's fleet
-telemetry across shard boundaries, and one zone suffers a correlated
-outage mid-run — so a single scenario exercises the epoch relay, the
-chaos accounting and the merged-trace determinism contract at scale.
+``examples/continuum_scale.py`` and the ``sim.sharded.10k`` benchmark,
+and — via :meth:`ScaleConfig.metro_100k` — the 100k-device / 16-zone
+flagship the multiprocess backend targets. Each zone hosts one
+:class:`~repro.continuum.fleet.DeviceFleet` (vectorized churn +
+telemetry), zone 0 aggregates every zone's fleet telemetry across shard
+boundaries, and one zone suffers a correlated outage mid-run — so a
+single scenario exercises the epoch relay, the chaos accounting and the
+merged-trace determinism contract at scale.
 
 ``run_scale_scenario(config, n_shards=1)`` is the single-shard twin of
 ``run_scale_scenario(config)``; their merged traces must be
 byte-identical (``ScaleResult.digest``) and their scorecards equal —
-tests and the CI ``scale-smoke`` job pin both.
+tests and the CI ``scale-smoke`` job pin both. ``run_scale_scenario(
+config, workers=N)`` runs the same scenario on the multiprocess
+:class:`~repro.runtime.parallel.ParallelShardedContext`; the digest
+contract extends across the process boundary (parallel == sequential ==
+single-shard, byte for byte).
+
+The zone build steps live in module-level functions
+(:func:`build_scale_zone` / :func:`finalize_scale_zone`) because worker
+processes re-run them per zone — and the sequential path calls the very
+same functions in zone-rank order, so both backends construct zones
+through one code path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.continuum.fleet import DeviceFleet
+from repro.runtime.parallel import ParallelShardedContext
 from repro.runtime.shard import ShardedContext
 
 
@@ -29,9 +43,15 @@ class ScaleConfig:
     devices: int = 10_000
     zones: int = 8
     shards: int = 8
+    #: Worker processes for ``run_scale_scenario``: 0 runs the
+    #: sequential in-process backend, >= 1 the multiprocess backend.
+    workers: int = 0
     horizon_s: float = 1000.0
     seed: int = 0
     telemetry_period_s: float = 10.0
+    #: Publish fleet telemetry every Nth step (draws still happen every
+    #: step — the RNG stream position is part of the replay contract).
+    telemetry_every: int = 1
     #: Minimum cross-zone link latency — the epoch lookahead. A metro
     #: backbone hop between zone aggregation points.
     link_latency_s: float = 0.5
@@ -49,69 +69,132 @@ class ScaleConfig:
     def zone_names(self) -> list[str]:
         return [f"zone-{i:02d}" for i in range(self.zones)]
 
+    @classmethod
+    def metro_100k(cls, **overrides: Any) -> "ScaleConfig":
+        """The 100k-device / 16-zone flagship: a metro region of 16
+        aggregation zones over a 10 ms backbone. The fat lookahead
+        gives 100 epochs over the kilosecond horizon — enough barriers
+        to exercise the relay, few enough that coordination cost stays
+        a rounding error next to 800k vectorized fleet steps."""
+        config = cls(devices=100_000, zones=16, shards=16, workers=4,
+                     horizon_s=1000.0, telemetry_period_s=2.0,
+                     link_latency_s=10.0, barrier_record_every=10)
+        return replace(config, **overrides) if overrides else config
+
+
+def build_scale_zone(ctx, zone: str, config: ScaleConfig) -> dict:
+    """Construct one zone: its fleet, its outage, and — on zone 0 —
+    the cross-zone telemetry aggregator. Called per zone in rank order
+    by both backends (inside the worker process for the parallel one).
+    """
+    names = config.zone_names()
+    index = names.index(zone)
+    state: dict = {}
+    if index == 0:
+        # Zone 0 aggregates fleet telemetry from every zone; samples
+        # from other zones cross shard boundaries through the epoch
+        # relay.
+        aggregate: dict = {"samples": 0, "zones": {}}
+
+        def on_telemetry(topic: str, payload: dict) -> None:
+            aggregate["samples"] += 1
+            aggregate["zones"][payload["zone"]] = payload["up"]
+
+        ctx.subscribe("shard.fleet.telemetry.*", on_telemetry)
+        state["aggregate"] = aggregate
+    base, rem = divmod(config.devices, config.zones)
+    fleet = DeviceFleet(
+        zone, base + (1 if index < rem else 0), ctx=ctx,
+        fail_rate_per_s=config.fail_rate_per_s,
+        repair_rate_per_s=config.repair_rate_per_s)
+    if index == config.outage_zone:
+        fleet.schedule_outage(config.outage_at_s, config.outage_duration_s)
+    fleet.start(config.telemetry_period_s, every=config.telemetry_every)
+    state["fleet"] = fleet
+    return state
+
+
+def finalize_scale_zone(state: dict, zone: str,
+                        config: ScaleConfig) -> dict:
+    """Reduce one zone's build state to a picklable result."""
+    result = {"scorecard": state["fleet"].scorecard()}
+    if "aggregate" in state:
+        result["aggregate"] = state["aggregate"]
+    return result
+
 
 @dataclass
 class ScaleResult:
-    """A finished scale run: the sharded context, fleets and aggregate."""
+    """A finished scale run: the (sequential or parallel) sharded
+    context, the per-zone scorecards and the zone-0 aggregate."""
 
-    sharded: ShardedContext
+    sharded: Any
     fleets: list[DeviceFleet]
     aggregate: dict
+    zone_scorecards: list[dict] | None = None
 
     def digest(self) -> str:
-        """SHA-256 of the merged trace (shard-count-invariant)."""
+        """SHA-256 of the merged trace (shard- and worker-count-
+        invariant)."""
         return self.sharded.digest()
 
     def scorecard(self) -> dict:
         """Deterministic run summary: per-zone resilience + aggregation.
 
-        Equal — key for key, float for float — between a sharded run
-        and its single-shard twin.
+        Equal — key for key, float for float — between a sharded run,
+        its single-shard twin and a multiprocess run.
         """
+        zones = self.zone_scorecards if self.zone_scorecards is not None \
+            else [fleet.scorecard() for fleet in self.fleets]
         return {
-            "devices": sum(f.size for f in self.fleets),
+            "devices": sum(z["devices"] for z in zones),
             "epochs": self.sharded.epoch,
-            "zones": [fleet.scorecard() for fleet in self.fleets],
+            "zones": zones,
             "aggregator": self.aggregate,
         }
 
 
 def run_scale_scenario(config: ScaleConfig = ScaleConfig(),
-                       n_shards: int | None = None) -> ScaleResult:
-    """Build and run the scenario; *n_shards* overrides ``config.shards``
-    (pass 1 for the determinism twin)."""
+                       n_shards: int | None = None,
+                       workers: int | None = None) -> ScaleResult:
+    """Build and run the scenario.
+
+    *n_shards* overrides ``config.shards`` (pass 1 for the determinism
+    twin); *workers* overrides ``config.workers`` — 0 for the
+    sequential in-process backend, >= 1 for that many worker processes.
+    """
     shards = config.shards if n_shards is None else n_shards
+    n_workers = config.workers if workers is None else workers
     names = config.zone_names()
+
+    if n_workers >= 1:
+        parallel = ParallelShardedContext(
+            seed=config.seed, zones=names, workers=n_workers,
+            link_latency_s=config.link_latency_s,
+            barrier_record_every=config.barrier_record_every,
+            trace_capacity=config.trace_capacity,
+            zone_builder=build_scale_zone, zone_args=config,
+            zone_finalizer=finalize_scale_zone)
+        try:
+            parallel.run(until=config.horizon_s)
+            by_zone = parallel.finalize()
+        finally:
+            parallel.close()
+        return ScaleResult(
+            sharded=parallel, fleets=[],
+            aggregate=by_zone[names[0]]["aggregate"],
+            zone_scorecards=[by_zone[name]["scorecard"]
+                             for name in names])
+
     sharded = ShardedContext(
         seed=config.seed, zones=names, n_shards=shards,
         link_latency_s=config.link_latency_s,
         barrier_record_every=config.barrier_record_every,
         trace_capacity=config.trace_capacity)
-
-    # Zone 0 aggregates fleet telemetry from every zone; samples from
-    # other zones cross shard boundaries through the epoch relay.
-    aggregate: dict = {"samples": 0, "zones": {}}
-
-    def on_telemetry(topic: str, payload: dict) -> None:
-        aggregate["samples"] += 1
-        aggregate["zones"][payload["zone"]] = payload["up"]
-
-    ctx = sharded.zone(names[0])
-    ctx.subscribe("shard.fleet.telemetry.*", on_telemetry)
-
-    fleets = []
-    base, rem = divmod(config.devices, config.zones)
-    for i, name in enumerate(names):
-        size = base + (1 if i < rem else 0)
-        fleet = DeviceFleet(
-            name, size, ctx=sharded.zone(name),
-            fail_rate_per_s=config.fail_rate_per_s,
-            repair_rate_per_s=config.repair_rate_per_s)
-        if i == config.outage_zone:
-            fleet.schedule_outage(config.outage_at_s,
-                                  config.outage_duration_s)
-        fleet.start(config.telemetry_period_s)
-        fleets.append(fleet)
-
+    states = [build_scale_zone(sharded.zone(name), name, config)
+              for name in names]
     sharded.run(until=config.horizon_s)
-    return ScaleResult(sharded=sharded, fleets=fleets, aggregate=aggregate)
+    return ScaleResult(
+        sharded=sharded,
+        fleets=[state["fleet"] for state in states],
+        aggregate=states[0]["aggregate"])

@@ -14,15 +14,21 @@ from repro.runtime.context import (
     as_simulator,
     ensure_context,
 )
+from repro.runtime.parallel import ParallelShardedContext, ShardWorkerError
 from repro.runtime.shard import ShardedContext, ZoneRuntime
+from repro.runtime.shard_worker import ShardWorkerHost, WorkerSpec
 from repro.runtime.trace import TraceRecord, TraceRecorder, jsonify
 
 __all__ = [
+    "ParallelShardedContext",
     "RuntimeContext",
     "ShardedContext",
+    "ShardWorkerError",
+    "ShardWorkerHost",
     "TracedEventBus",
     "TraceRecord",
     "TraceRecorder",
+    "WorkerSpec",
     "ZoneRuntime",
     "as_simulator",
     "ensure_context",

@@ -37,10 +37,11 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ConfigurationError, NotFoundError
 from repro.core.rng import derive_seed
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.context import RuntimeContext
 from repro.runtime.trace import TraceRecord
 
@@ -75,6 +76,85 @@ class ZoneRuntime:
         #: relay taps skip that publish so a message is relayed once,
         #: from its origin zone, never re-forwarded by a destination.
         self.suppress_seq = -1
+
+
+# -- relay primitives shared by the sequential and multiprocess backends --
+#
+# The parallel backend (repro.runtime.parallel / shard_worker) re-runs
+# these exact functions inside worker processes. Byte-identity between
+# the two backends rests on there being ONE implementation of tap
+# buffering, relay delivery and barrier injection — do not fork copies.
+
+def make_relay_tap(src: ZoneRuntime, outbox: list, mark: list):
+    """Tap closure buffering *src*'s matching publishes for one
+    (src, dest) pair. ``mark`` holds the last relayed publish id so a
+    publish matching several tapped patterns is buffered once."""
+    trace = src.ctx.trace
+    sim = src.ctx.sim
+
+    def tap(topic: str, payload: Any) -> None:
+        # trace._seq is unique per publish on this zone (the traced
+        # bus records before delivery), so it both dedupes a publish
+        # matching several tapped patterns and identifies the relay's
+        # own delivery publish (suppress_seq) to stop re-forwarding.
+        pub = trace._seq
+        if mark[0] == pub or src.suppress_seq == pub:
+            return
+        mark[0] = pub
+        outbox.append((sim.now, topic, payload))
+    return tap
+
+
+def relay_deliver(dest: ZoneRuntime, topic: str, payload: Any) -> None:
+    """Publish a relayed message on *dest*'s bus without re-forwarding."""
+    dest.suppress_seq = dest.ctx.trace._seq + 1
+    dest.ctx.bus.publish(topic, payload)
+    dest.suppress_seq = -1
+
+
+def flush_zone_inbox(dest: ZoneRuntime, batches: Iterable[list],
+                     latency: float, epoch: int, t_barrier: float,
+                     record_barrier: bool) -> int:
+    """Barrier injection for one destination zone: schedule every
+    buffered message (batches already in source-rank order, messages in
+    send order) as a DES event at its true arrival time, then publish
+    the relay/barrier bookkeeping records. Returns messages injected."""
+    sim = dest.ctx.sim
+    count = 0
+    for batch in batches:
+        for send_s, topic, payload in batch:
+            # Mathematically send + latency >= barrier; clamp the
+            # one-ulp float shortfall when the sum rounds below
+            # the epoch-grid boundary (same clamp on every shard
+            # count — the grid is computed identically).
+            delay = send_s + latency - sim.now
+            arrival = sim.timeout(delay if delay > 0.0 else 0.0)
+            arrival.add_callback(
+                lambda _ev, _z=dest, _t=topic, _p=payload:
+                relay_deliver(_z, _t, _p))
+            count += 1
+    if count:
+        dest.ctx.publish(RELAY_TOPIC, {
+            "epoch": epoch, "zone": dest.name, "count": count,
+            "time_s": t_barrier})
+    if record_barrier:
+        dest.ctx.publish(BARRIER_TOPIC, {
+            "epoch": epoch, "zone": dest.name, "time_s": t_barrier})
+    return count
+
+
+def render_merged_jsonl(rows: Iterable[tuple]) -> str:
+    """Render merged ``(zone_name, time_s, topic, payload, span)`` rows
+    as the canonical deterministic JSONL both backends fingerprint."""
+    lines = []
+    for seq, (zone_name, time_s, topic, payload, span) in enumerate(rows):
+        obj = {"seq": seq, "zone": zone_name, "time_s": time_s,
+               "topic": topic, "payload": payload}
+        if span is not None:
+            obj["span"] = span
+        lines.append(json.dumps(obj, sort_keys=True,
+                                separators=(",", ":")))
+    return "\n".join(lines)
 
 
 class ShardedContext:
@@ -150,6 +230,31 @@ class ShardedContext:
         self._marks: dict[tuple[int, int], list[int]] = {}
         self._tapped: set[tuple[int, int, str]] = set()
         self._sub_watermark = -1
+
+        # Merged-trace memoization: --check twin comparisons call
+        # digest()/scorecard() repeatedly; re-sorting an unchanged trace
+        # is pure waste. The watermark is (seq, len) per zone — any
+        # record appended or evicted since the last merge changes it.
+        self._merge_watermark: tuple | None = None
+        self._merged: list[tuple[str, TraceRecord]] = []
+        self._jsonl: str | None = None
+        self._digest: str | None = None
+
+        #: Coordinator-side observability (runtime.shard.*): epoch
+        #: progress, relay traffic and per-barrier backlog. Lives on the
+        #: coordinator, not any zone context, so reading it never
+        #: perturbs a zone's trace.
+        self.metrics = MetricsRegistry()
+        self.metrics.gauge_callback(
+            "runtime.shard.epochs", lambda: float(self._epoch),
+            "completed epoch barriers")
+        self.metrics.gauge_callback(
+            "runtime.shard.relay.backlog",
+            lambda: float(sum(len(b) for b in self._outbox.values())),
+            "cross-zone messages buffered awaiting the next barrier")
+        self._relay_messages = self.metrics.counter(
+            "runtime.shard.relay.messages",
+            "cross-zone messages injected at barriers", label_key="zone")
 
         epoch_payload = None if self.epoch_s == _INF else self.epoch_s
         lookahead_payload = None if self.lookahead_s == _INF \
@@ -248,27 +353,7 @@ class ShardedContext:
                 "link_latency_s= so the epoch barrier has a lookahead")
 
     def _make_tap(self, src: ZoneRuntime, pair: tuple[int, int]):
-        outbox = self._outbox[pair]
-        mark = self._marks[pair]
-        trace = src.ctx.trace
-        sim = src.ctx.sim
-
-        def tap(topic: str, payload: Any) -> None:
-            # trace._seq is unique per publish on this zone (the traced
-            # bus records before delivery), so it both dedupes a publish
-            # matching several tapped patterns and identifies the relay's
-            # own delivery publish (suppress_seq) to stop re-forwarding.
-            pub = trace._seq
-            if mark[0] == pub or src.suppress_seq == pub:
-                return
-            mark[0] = pub
-            outbox.append((sim.now, topic, payload))
-        return tap
-
-    def _deliver(self, dest: ZoneRuntime, topic: str, payload: Any) -> None:
-        dest.suppress_seq = dest.ctx.trace._seq + 1
-        dest.ctx.bus.publish(topic, payload)
-        dest.suppress_seq = -1
+        return make_relay_tap(src, self._outbox[pair], self._marks[pair])
 
     def _flush(self, epoch: int, t_barrier: float) -> None:
         """Barrier: inject buffered cross-zone messages into their
@@ -277,34 +362,19 @@ class ShardedContext:
         latency = self.link_latency_s or 0.0
         record_barrier = epoch % self._barrier_record_every == 0
         for dest in self._zones:
-            count = 0
+            batches = []
             for src in self._zones:
                 if src is dest:
                     continue
                 batch = self._outbox.get((src.rank, dest.rank))
-                if not batch:
-                    continue
-                sim = dest.ctx.sim
-                for send_s, topic, payload in batch:
-                    # Mathematically send + latency >= barrier; clamp the
-                    # one-ulp float shortfall when the sum rounds below
-                    # the epoch-grid boundary (same clamp on every shard
-                    # count — the grid is computed identically).
-                    delay = send_s + latency - sim.now
-                    arrival = sim.timeout(delay if delay > 0.0 else 0.0)
-                    arrival.add_callback(
-                        lambda _ev, _z=dest, _t=topic, _p=payload:
-                        self._deliver(_z, _t, _p))
-                    count += 1
+                if batch:
+                    batches.append(batch)
+            count = flush_zone_inbox(dest, batches, latency, epoch,
+                                     t_barrier, record_barrier)
+            for batch in batches:
                 batch.clear()
             if count:
-                dest.ctx.publish("shard.relay.deliver", {
-                    "epoch": epoch, "zone": dest.name, "count": count,
-                    "time_s": t_barrier})
-            if record_barrier:
-                dest.ctx.publish("shard.epoch.barrier", {
-                    "epoch": epoch, "zone": dest.name,
-                    "time_s": t_barrier})
+                self._relay_messages.inc(count, label=dest.name)
 
     # -- execution ---------------------------------------------------------
 
@@ -342,29 +412,43 @@ class ShardedContext:
 
     # -- merged trace ------------------------------------------------------
 
+    @property
+    def events_executed(self) -> int:
+        """Total DES events executed across every shard heap."""
+        return sum(sim.processed_events for sim in self._sims)
+
+    def _trace_watermark(self) -> tuple:
+        return tuple((z.ctx.trace._seq, len(z.ctx.trace))
+                     for z in self._zones)
+
     def merged_records(self) -> list[tuple[str, TraceRecord]]:
         """Every zone's retained records as one globally ordered stream.
 
         Sorted by ``(time_s, zone_rank, zone_seq)`` — a total order that
         is a pure function of the per-zone record streams, hence
-        shard-count-invariant.
+        shard-count-invariant. Memoized until the next record lands
+        (``--check`` twin comparisons hit digest()/scorecard()
+        repeatedly); treat the returned list as read-only.
         """
-        keyed = [(rec.time_s, zone.rank, rec.seq, zone.name, rec)
-                 for zone in self._zones for rec in zone.ctx.trace]
-        keyed.sort(key=lambda item: (item[0], item[1], item[2]))
-        return [(name, rec) for _, _, _, name, rec in keyed]
+        watermark = self._trace_watermark()
+        if watermark != self._merge_watermark:
+            keyed = [(rec.time_s, zone.rank, rec.seq, zone.name, rec)
+                     for zone in self._zones for rec in zone.ctx.trace]
+            keyed.sort(key=lambda item: (item[0], item[1], item[2]))
+            self._merged = [(name, rec) for _, _, _, name, rec in keyed]
+            self._jsonl = None
+            self._digest = None
+            self._merge_watermark = watermark
+        return self._merged
 
     def to_jsonl(self) -> str:
         """The merged trace as deterministic JSONL (global seq, zone tag)."""
-        lines = []
-        for seq, (zone_name, rec) in enumerate(self.merged_records()):
-            obj = {"seq": seq, "zone": zone_name, "time_s": rec.time_s,
-                   "topic": rec.topic, "payload": rec.payload}
-            if rec.span is not None:
-                obj["span"] = rec.span
-            lines.append(json.dumps(obj, sort_keys=True,
-                                    separators=(",", ":")))
-        return "\n".join(lines)
+        merged = self.merged_records()
+        if self._jsonl is None:
+            self._jsonl = render_merged_jsonl(
+                (name, rec.time_s, rec.topic, rec.payload, rec.span)
+                for name, rec in merged)
+        return self._jsonl
 
     def export_jsonl(self, path: str | Path) -> int:
         """Write the merged trace to *path*; returns records written."""
@@ -375,7 +459,10 @@ class ShardedContext:
     def digest(self) -> str:
         """SHA-256 over the merged trace bytes — the replay fingerprint
         the scale example and CI pin."""
-        return hashlib.sha256(self.to_jsonl().encode()).hexdigest()
+        text = self.to_jsonl()
+        if self._digest is None:
+            self._digest = hashlib.sha256(text.encode()).hexdigest()
+        return self._digest
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ShardedContext(seed={self.seed}, "

@@ -1,0 +1,302 @@
+"""Tests for multiprocess shard execution (:mod:`repro.runtime.parallel`).
+
+The headline property: a multiprocess run — zones built inside worker
+processes, relay messages routed through the coordinator, trace records
+streamed back per epoch — produces digests, scorecards and delivery
+streams *byte-identical* to the sequential in-process reference, for
+workers in {1, 2, 4} over random zone counts, fleet sizes and seeds.
+Alongside it: failure surfacing (a dying or raising worker raises
+``ShardWorkerError``, never hangs the barrier), lifecycle/validation
+shape, and the packaged scale scenario's cross-backend contract.
+
+Builders live at module level so the specs stay picklable under any
+multiprocessing start method.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.continuum import DeviceFleet, ScaleConfig, run_scale_scenario
+from repro.core.errors import ConfigurationError
+from repro.runtime import (
+    ParallelShardedContext,
+    ShardedContext,
+    ShardWorkerError,
+)
+
+
+def _zone_names(n_zones: int) -> list[str]:
+    return [f"z{i}" for i in range(n_zones)]
+
+
+def _build_fleet_zone(ctx, zone: str, args: dict) -> dict:
+    """Same cross-zone scenario as test_sharded._fleet_run: per-zone
+    fleets, zone-0 aggregation, one forced outage on the last zone."""
+    names = args["names"]
+    state: dict = {}
+    if zone == names[0]:
+        stream: list = []
+
+        def on_telemetry(topic, payload):
+            stream.append((ctx.now, payload["zone"], payload["up"]))
+
+        ctx.subscribe("shard.fleet.telemetry.*", on_telemetry)
+        state["stream"] = stream
+    fleet = DeviceFleet(zone, args["devices"], ctx=ctx,
+                        fail_rate_per_s=5e-3, repair_rate_per_s=5e-2)
+    if zone == names[-1]:
+        fleet.schedule_outage(10.0, 5.0)
+    fleet.start(2.5)
+    state["fleet"] = fleet
+    return state
+
+
+def _finalize_fleet_zone(state: dict, zone: str, args: dict) -> dict:
+    result = {"scorecard": state["fleet"].scorecard()}
+    if "stream" in state:
+        result["stream"] = state["stream"]
+    return result
+
+
+def _sequential_reference(seed, names, devices, horizon):
+    sharded = ShardedContext(seed=seed, zones=names, n_shards=len(names),
+                             link_latency_s=0.5)
+    args = {"names": names, "devices": devices}
+    states = [_build_fleet_zone(sharded.zone(name), name, args)
+              for name in names]
+    sharded.run(until=horizon)
+    results = {name: _finalize_fleet_zone(states[i], name, args)
+               for i, name in enumerate(names)}
+    return sharded, results
+
+
+def _parallel_run(seed, names, workers, devices, horizon):
+    args = {"names": names, "devices": devices}
+    with ParallelShardedContext(
+            seed=seed, zones=names, workers=workers, link_latency_s=0.5,
+            zone_builder=_build_fleet_zone, zone_args=args,
+            zone_finalizer=_finalize_fleet_zone) as parallel:
+        parallel.run(until=horizon)
+        results = parallel.finalize()
+    return parallel, results
+
+
+class TestParallelEqualsSequential:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           n_zones=st.integers(min_value=2, max_value=4),
+           workers=st.sampled_from([1, 2, 4]),
+           devices=st.integers(min_value=1, max_value=8))
+    def test_digests_scorecards_streams_match(self, seed, n_zones,
+                                              workers, devices):
+        """Random partitions/seeds, workers in {1, 2, 4}: identical
+        merged digests, per-zone scorecards and zone-0 delivery
+        streams vs the sequential reference."""
+        names = _zone_names(n_zones)
+        seq_ctx, seq = _sequential_reference(seed, names, devices, 30.0)
+        par_ctx, par = _parallel_run(seed, names, workers, devices, 30.0)
+        assert par_ctx.digest() == seq_ctx.digest()
+        for name in names:
+            assert par[name]["scorecard"] == seq[name]["scorecard"]
+        assert par[names[0]]["stream"] == seq[names[0]]["stream"]
+
+    def test_merged_records_and_jsonl_match_sequential(self):
+        names = _zone_names(3)
+        seq_ctx, _ = _sequential_reference(5, names, 4, 20.0)
+        par_ctx, _ = _parallel_run(5, names, 2, 4, 20.0)
+        assert par_ctx.to_jsonl() == seq_ctx.to_jsonl()
+        seq_merged = seq_ctx.merged_records()
+        par_merged = par_ctx.merged_records()
+        assert [(n, r.seq, r.time_s, r.topic, r.payload, r.span)
+                for n, r in par_merged] == \
+               [(n, r.seq, r.time_s, r.topic, r.payload, r.span)
+                for n, r in seq_merged]
+
+    def test_scale_scenario_parallel_twin(self):
+        """The packaged scale scenario: parallel == sequential ==
+        single-shard, digest and scorecard."""
+        config = ScaleConfig(devices=60, zones=4, shards=4,
+                             horizon_s=80.0, seed=3, outage_at_s=30.0,
+                             outage_duration_s=20.0,
+                             barrier_record_every=20)
+        seq = run_scale_scenario(config)
+        single = run_scale_scenario(config, n_shards=1)
+        par = run_scale_scenario(config, workers=2)
+        assert par.digest() == seq.digest() == single.digest()
+        assert par.scorecard() == seq.scorecard()
+
+    def test_events_counted_and_digest_memoized(self):
+        names = _zone_names(2)
+        par_ctx, _ = _parallel_run(1, names, 2, 3, 20.0)
+        assert par_ctx.events_executed > 0
+        assert par_ctx.epoch == 40
+        assert par_ctx.now == 20.0
+        # Memoized merged trace: repeated digest()/merged_records()
+        # calls return the cached objects (the context is closed — the
+        # trace cannot change anymore).
+        assert par_ctx.digest() is par_ctx.digest()
+        assert par_ctx.merged_records() is par_ctx.merged_records()
+
+
+def _build_crashing_zone(ctx, zone: str, args: dict) -> dict:
+    """The first zone hosts a process that kills its whole worker
+    mid-epoch — simulating a hard crash (OOM-kill, segfault)."""
+    if zone == args["crash_zone"]:
+        def boom():
+            yield ctx.sim.timeout(2.0)
+            os._exit(13)
+        ctx.sim.process(boom(), name="boom")
+    return {}
+
+
+def _build_raising_zone(ctx, zone: str, args: dict) -> dict:
+    raise ValueError("kaboom during zone build")
+
+
+def _build_idle_zone(ctx, zone: str, args: dict) -> dict:
+    return {}
+
+
+def _finalize_marker(state, zone: str, args: dict) -> str:
+    return f"done-{zone}"
+
+
+class TestFailureSurfacing:
+    def test_worker_crash_raises_instead_of_hanging(self):
+        """A shard process dying mid-run raises ShardWorkerError at the
+        barrier — promptly, never a deadlock."""
+        with ParallelShardedContext(
+                seed=0, zones=("za", "zb"), workers=2, link_latency_s=1.0,
+                zone_builder=_build_crashing_zone,
+                zone_args={"crash_zone": "za"}) as parallel:
+            with pytest.raises(ShardWorkerError, match="died|broke"):
+                parallel.run(until=10.0)
+
+    def test_build_error_carries_worker_traceback(self):
+        with pytest.raises(ShardWorkerError, match="kaboom"):
+            ParallelShardedContext(
+                seed=0, zones=("za",), workers=1,
+                zone_builder=_build_raising_zone)
+
+    def test_run_after_close_raises(self):
+        parallel = ParallelShardedContext(
+            seed=0, zones=("za",), workers=1,
+            zone_builder=_build_idle_zone)
+        parallel.close()
+        with pytest.raises(ConfigurationError):
+            parallel.run(until=1.0)
+
+    def test_cross_zone_subs_without_latency_raise(self):
+        """Same ConfigurationError as the sequential backend when zones
+        subscribe cross-zone but no lookahead is configured."""
+        with ParallelShardedContext(
+                seed=0, zones=_zone_names(2), workers=2,
+                zone_builder=_build_fleet_zone,
+                zone_args={"names": _zone_names(2), "devices": 2},
+                zone_finalizer=_finalize_fleet_zone) as parallel:
+            with pytest.raises(ConfigurationError,
+                               match="link_latency_s"):
+                parallel.run(until=10.0)
+
+
+class TestParallelContextShape:
+    def test_validation_mirrors_sequential(self):
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=())
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=("a", "a"))
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=("a",), link_latency_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=("a",), epoch_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=("a",), barrier_record_every=0)
+        with pytest.raises(ConfigurationError):
+            ParallelShardedContext(zones=("a",), workers=0)
+
+    def test_worker_count_clamped_and_contiguous(self):
+        with ParallelShardedContext(
+                seed=0, zones=_zone_names(3), workers=8,
+                link_latency_s=1.0,
+                zone_builder=_build_idle_zone) as parallel:
+            assert parallel.n_workers == 3
+            owners = [parallel.worker_of(name)
+                      for name in parallel.zones]
+            assert owners == sorted(owners)
+            with pytest.raises(ConfigurationError):
+                parallel.worker_of("nope")
+
+    def test_zone_access_is_rejected(self):
+        with ParallelShardedContext(
+                seed=0, zones=("za",), workers=1,
+                zone_builder=_build_idle_zone) as parallel:
+            with pytest.raises(ConfigurationError, match="zone_builder"):
+                parallel.zone("za")
+
+    def test_finalize_collects_every_zone(self):
+        with ParallelShardedContext(
+                seed=0, zones=_zone_names(3), workers=2,
+                link_latency_s=1.0, zone_builder=_build_idle_zone,
+                zone_finalizer=_finalize_marker) as parallel:
+            parallel.run(until=5.0)
+            results = parallel.finalize()
+            assert results == {name: f"done-{name}"
+                               for name in _zone_names(3)}
+            # Idempotent, and still readable after close().
+            parallel.close()
+            assert parallel.finalize() == results
+
+    def test_metrics_registered_under_runtime_shard(self):
+        with ParallelShardedContext(
+                seed=0, zones=_zone_names(2), workers=2,
+                link_latency_s=1.0,
+                zone_builder=_build_fleet_zone,
+                zone_args={"names": _zone_names(2), "devices": 2},
+                zone_finalizer=_finalize_fleet_zone) as parallel:
+            parallel.run(until=10.0)
+            snapshot = parallel.metrics.to_payload()
+            assert snapshot["runtime.shard.epochs"]["value"] == 10.0
+            assert snapshot["runtime.shard.relay.messages"]["value"] > 0
+            assert snapshot["runtime.shard.trace.batches"]["value"] > 0
+
+
+class TestSequentialMemoization:
+    """Satellite: merged_records()/digest() memoized across repeated
+    calls, invalidated when run() lands new records."""
+
+    @staticmethod
+    def _sharded():
+        sharded = ShardedContext(seed=5, zones=("a", "b"), n_shards=2,
+                                 link_latency_s=0.5)
+        for name in ("a", "b"):
+            DeviceFleet(name, 3, ctx=sharded.zone(name),
+                        fail_rate_per_s=5e-3).start(1.0)
+        return sharded
+
+    def test_repeat_calls_hit_the_cache(self):
+        sharded = self._sharded()
+        sharded.run(until=10.0)
+        assert sharded.merged_records() is sharded.merged_records()
+        assert sharded.to_jsonl() is sharded.to_jsonl()
+        assert sharded.digest() is sharded.digest()
+
+    def test_new_records_invalidate(self):
+        sharded = self._sharded()
+        sharded.run(until=10.0)
+        first_merged = sharded.merged_records()
+        first_digest = sharded.digest()
+        sharded.run(until=20.0)
+        assert sharded.merged_records() is not first_merged
+        assert len(sharded.merged_records()) > len(first_merged)
+        assert sharded.digest() != first_digest
+
+    def test_sequential_metrics_registered(self):
+        sharded = self._sharded()
+        sharded.run(until=10.0)
+        snapshot = sharded.metrics.to_payload()
+        assert snapshot["runtime.shard.epochs"]["value"] == 20.0
+        assert snapshot["runtime.shard.relay.backlog"]["value"] == 0.0
+        assert sharded.events_executed > 0
