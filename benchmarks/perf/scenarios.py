@@ -394,14 +394,17 @@ def _fleet_step_100k(quick: bool):
 def _crossshard_relay(quick: bool):
     """Cross-shard relay throughput: two zones on two shards, every
     publish tapped, buffered at the epoch barrier and re-injected into
-    the destination shard at its arrival time."""
+    the destination shard at its arrival time. Payloads mirror the
+    continuum fleet's telemetry shape — the message that actually
+    crosses zones in the scale scenarios."""
     from repro.runtime.shard import ShardedContext
 
     n_ops = 2_000 if quick else 20_000
 
     def run():
         sharded = ShardedContext(seed=0, zones=("a", "b"), n_shards=2,
-                                 link_latency_s=0.5)
+                                 link_latency_s=0.5,
+                                 trace_capacity=4096)
         ctx_a, ctx_b = sharded.zone("a"), sharded.zone("b")
         counter = [0]
 
@@ -415,8 +418,83 @@ def _crossshard_relay(quick: bool):
             publish = ctx_a.publish
             for i in range(n_ops):
                 yield timeout(0.01)
-                publish(f"bench.relay.m{i % _TOPIC_CYCLE}", i)
+                publish(f"bench.relay.m{i % _TOPIC_CYCLE}",
+                        {"zone": "a", "time_s": i * 0.01, "up": 990,
+                         "utilization": 0.42, "energy_j": 1.5e3,
+                         "failures": i, "repairs": 0})
 
         ctx_a.sim.process(sender())
         sharded.run(until=n_ops * 0.01 + 2.0)
+    return n_ops, run
+
+
+@scenario("obs.span.crossshard")
+def _crossshard_span_relay(quick: bool):
+    """Cross-shard relay with span propagation: same two-zone workload
+    as ``bus.publish.crossshard``, but the sender publishes inside an
+    active span (the ``obs.span.publish.enabled`` idiom) — each tapped
+    message ships its ``(trace_id, span_id)`` and each barrier delivery
+    resumes it in the destination zone under a ``shard.relay.deliver``
+    child span. The --check gate holds the pair at <= 1.3x: span
+    propagation must stay a thin layer on the relay itself."""
+    from repro.runtime.shard import ShardedContext
+
+    n_ops = 2_000 if quick else 20_000
+
+    def run():
+        sharded = ShardedContext(seed=0, zones=("a", "b"), n_shards=2,
+                                 link_latency_s=0.5,
+                                 trace_capacity=4096)
+        ctx_a, ctx_b = sharded.zone("a"), sharded.zone("b")
+        counter = [0]
+
+        def on_msg(topic, payload):
+            counter[0] += 1
+
+        ctx_b.subscribe("bench.relay.*", on_msg)
+
+        def sender():
+            timeout = ctx_a.sim.timeout
+            publish = ctx_a.publish
+            with ctx_a.tracer.start_span("bench.relay.batch",
+                                         layer="bench"):
+                for i in range(n_ops):
+                    yield timeout(0.01)
+                    publish(f"bench.relay.m{i % _TOPIC_CYCLE}",
+                            {"zone": "a", "time_s": i * 0.01, "up": 990,
+                             "utilization": 0.42, "energy_j": 1.5e3,
+                             "failures": i, "repairs": 0})
+
+        ctx_a.sim.process(sender())
+        sharded.run(until=n_ops * 0.01 + 2.0)
+    return n_ops, run
+
+
+@scenario("shard.metrics.merge")
+def _shard_metrics_merge(quick: bool):
+    """Deterministic metrics aggregation: fold realistic per-zone
+    payloads (labelled counters, gauges, histograms) into a fresh
+    global registry — the exact coordinator-side operation behind every
+    ``aggregate_metrics()`` call on either sharded backend."""
+    from repro.obs.metrics import MetricsRegistry
+
+    n_ops = 200 if quick else 2_000
+    source = MetricsRegistry()
+    for i in range(8):
+        counter = source.counter(f"bench.fleet.c{i}", label_key="zone")
+        counter.value = 100 + i
+        counter.labels.update(
+            {f"zone-{z:02d}": 10 + z for z in range(8)})
+        source.gauge(f"bench.fleet.g{i}").set(float(i))
+        histogram = source.histogram(f"bench.fleet.h{i}")
+        for value in (0.001, 0.1, 5.0):
+            histogram.observe(value)
+    payload = source.to_payload()
+
+    def run():
+        for _ in range(n_ops):
+            registry = MetricsRegistry()
+            for _zone in range(8):
+                registry.merge_payload(payload)
+            registry.to_payload()
     return n_ops, run

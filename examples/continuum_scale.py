@@ -16,16 +16,28 @@ same merged trace, whatever the shard count *or* worker-process count:
 ``--workers N`` (N >= 1) runs the multiprocess backend — one worker
 process per shard heap; ``--workers 0`` (default) runs sequentially in
 one interpreter. ``--check`` additionally runs the sequential
-single-shard twin, verifies the merged traces are byte-identical, and
-compares the digest against the committed fingerprint (the CI
-``scale-smoke`` gate, sequential-vs-parallel matrix).
+single-shard twin, verifies the merged traces *and the aggregated
+metrics payloads* are byte-identical, and compares both digests against
+the committed fingerprints (the CI ``scale-smoke`` gate,
+sequential-vs-parallel matrix).
+
+``--profile`` turns on the opt-in barrier/straggler profiler; combined
+with ``--export`` the written JSONL carries the aggregated metrics and
+shard-profile snapshots as trailing rows, ready for::
+
+    PYTHONPATH=src python examples/continuum_scale.py --preset 100k \
+        --profile --export /tmp/scale.jsonl
+    PYTHONPATH=src python -m repro.obs shards /tmp/scale.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.continuum import ScaleConfig, run_scale_scenario
@@ -42,8 +54,17 @@ def build_config(args: argparse.Namespace) -> ScaleConfig:
         ("devices", args.devices), ("zones", args.zones),
         ("shards", args.shards), ("horizon_s", args.horizon),
         ("seed", args.seed)) if value is not None}
-    from dataclasses import replace
+    if args.profile:
+        overrides["profile"] = True
     return replace(base, **overrides) if overrides else base
+
+
+def metrics_digest(result) -> str:
+    """SHA-256 over the canonical aggregated-metrics JSON — worker- and
+    shard-count-invariant, same bytes from either backend."""
+    payload = result.sharded.snapshot_observability()["metrics"]
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -58,8 +79,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=None)
     parser.add_argument("--workers", type=int, default=0, metavar="N",
                         help="worker processes (0 = sequential backend)")
+    parser.add_argument("--profile", action="store_true",
+                        help="record the barrier/straggler profile "
+                             "(repro-obs shards)")
     parser.add_argument("--export", type=Path, metavar="JSONL",
-                        help="write the merged trace to this path")
+                        help="write the merged trace (plus metrics/"
+                             "profile snapshots) to this path")
     parser.add_argument("--check", type=Path, metavar="DIGEST_FILE",
                         help="verify against the sequential single-shard "
                              "twin and the committed digest")
@@ -72,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
     result = run_scale_scenario(config, workers=args.workers)
     wall_s = time.perf_counter() - wall_start
     digest = result.digest()
+    m_digest = metrics_digest(result)
     scorecard = result.scorecard()
     backend = f"parallel x{args.workers}" if args.workers else "sequential"
     print(f"devices={scorecard['devices']} zones={config.zones} "
@@ -91,14 +117,16 @@ def main(argv: list[str] | None = None) -> int:
           f"wall_s={wall_s:.2f} events={events} "
           f"events_per_s={events / wall_s:,.0f} workers={args.workers}")
     print(f"merged trace digest: {digest}")
+    print(f"aggregated metrics digest: {m_digest}")
 
     if args.export:
-        written = result.sharded.export_jsonl(args.export)
+        written = result.sharded.export_jsonl(args.export,
+                                              observability=True)
         print(f"exported {written} records to {args.export}")
 
     if args.write_digest:
-        args.write_digest.write_text(digest + "\n")
-        print(f"wrote digest to {args.write_digest}")
+        args.write_digest.write_text(f"{digest}\n{m_digest}\n")
+        print(f"wrote digests to {args.write_digest}")
 
     if args.check:
         twin = run_scale_scenario(config, n_shards=1, workers=0)
@@ -106,16 +134,24 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: single-shard twin trace differs from "
                   f"{backend} run")
             return 1
+        if metrics_digest(twin) != m_digest:
+            print("FAIL: single-shard twin aggregated metrics differ "
+                  f"from {backend} run")
+            return 1
         if twin.scorecard() != scorecard:
             print("FAIL: single-shard twin scorecard differs")
             return 1
-        committed = args.check.read_text().strip()
-        if committed != digest:
-            print(f"FAIL: digest mismatch\n  committed: {committed}\n"
-                  f"  computed:  {digest}")
+        committed = args.check.read_text().split()
+        if committed[0] != digest:
+            print(f"FAIL: trace digest mismatch\n"
+                  f"  committed: {committed[0]}\n  computed:  {digest}")
+            return 1
+        if len(committed) > 1 and committed[1] != m_digest:
+            print(f"FAIL: metrics digest mismatch\n"
+                  f"  committed: {committed[1]}\n  computed:  {m_digest}")
             return 1
         print(f"check passed: {backend} == single-shard == "
-              "committed digest")
+              "committed digests (trace + metrics)")
     return 0
 
 

@@ -137,15 +137,36 @@ TOPIC_CONTRACTS: tuple[TopicContract, ...] = (
     _c("shard.epoch.barrier", required="epoch zone time_s",
        description="conservative epoch barrier reached (sampled per "
                    "barrier_record_every)"),
-    _c("shard.relay.deliver", required="epoch zone count time_s",
+    _c("shard.relay.deliver", required="epoch zone count spans time_s",
        description="cross-shard messages injected into this zone at a "
                    "barrier (pipe-routed when zones live in worker "
-                   "processes)"),
+                   "processes); spans counts the deliveries that "
+                   "carried a propagated span context"),
     _c("shard.fleet.telemetry.*",
        required="zone time_s up utilization energy_j failures repairs",
        consumed="bus",
        description="per-zone vectorized fleet aggregate, keyed "
                    "shard.fleet.telemetry.<zone>"),
+    # -- observability snapshots --------------------------------------------
+    # Not bus-published: spans are recorded straight into the trace at
+    # close, metric/profile snapshots at observability-export time, and
+    # all are consumed from the file by ``repro-obs``. Declared so the
+    # topic vocabulary of a merged sharded export is complete.
+    _c("obs.span", payload="open-dict",
+       required="name layer trace_id span_id parent_id start_s end_s "
+                "status",
+       description="one closed causal span (crosses zones/workers via "
+                   "the relay's span propagation + resume)"),
+    _c("obs.metrics", payload="opaque",
+       description="metrics registry snapshot; in sharded exports the "
+                   "deterministic (epoch, zone rank)-ordered aggregate"),
+    _c("obs.profile", payload="opaque",
+       description="DES profiler snapshot (wall times: "
+                   "nondeterministic, excluded from digests)"),
+    _c("obs.shard_profile", payload="opaque",
+       description="sharded-run barrier/straggler profile "
+                   "(runtime.shard.epoch.* histogram source; wall "
+                   "times nondeterministic, excluded from digests)"),
     # -- monitoring ---------------------------------------------------------
     _c("monitor.metrics.*.*.*", required="time_s value",
        description="one sample, keyed "

@@ -70,6 +70,22 @@ class DeviceFleet:
         self._busy_w = np.array(
             [specs[i % len(specs)].busy_power_w for i in range(size)])
         self._rng = self.ctx.numpy_rng(f"fleet.{zone}")
+        # Fleet health counters, labelled by zone so the sharded
+        # backends' aggregated registry keeps per-zone breakdowns. The
+        # values are RNG-driven and therefore deterministic — safe for
+        # the byte-identical cross-backend metrics comparison.
+        metrics = self.ctx.metrics
+        self._c_steps = metrics.counter(
+            "continuum.fleet.steps", "fleet batch steps", label_key="zone")
+        self._c_failures = metrics.counter(
+            "continuum.fleet.failures", "device churn failures",
+            label_key="zone")
+        self._c_repairs = metrics.counter(
+            "continuum.fleet.repairs", "device churn repairs",
+            label_key="zone")
+        self._c_forced = metrics.counter(
+            "continuum.fleet.forced_failures",
+            "devices forced down by zone outages", label_key="zone")
         self.up = np.ones(size, dtype=bool)
         self.energy_j = np.zeros(size)
         self.downtime_s = np.zeros(size)
@@ -80,6 +96,14 @@ class DeviceFleet:
         self.steps = 0
         self.elapsed_s = 0.0
         self.forced_outage = False
+
+    def _bump(self, counter, n: int) -> None:
+        """Add *n* to a zone-labelled counter (zero deltas stay silent
+        so idle zones don't fabricate label entries)."""
+        if n:
+            counter.value += n
+            labels = counter.labels
+            labels[self.zone] = labels.get(self.zone, 0) + n
 
     # -- stepping ----------------------------------------------------------
 
@@ -108,14 +132,21 @@ class DeviceFleet:
             # The whole zone is dark: draws are still consumed (the
             # stream position is part of the replay contract) but no
             # device runs or repairs until the outage lifts.
-            self.forced_failures += int(was_up.sum())
+            forced = int(was_up.sum())
+            self.forced_failures += forced
+            self._bump(self._c_forced, forced)
             up = np.zeros(self.size, dtype=bool)
         else:
             fails = was_up & (u_churn < p_fail)
             repairs = ~was_up & (u_churn < p_repair)
-            self.failures += int(fails.sum())
-            self.repairs += int(repairs.sum())
+            n_fail = int(fails.sum())
+            n_repair = int(repairs.sum())
+            self.failures += n_fail
+            self.repairs += n_repair
+            self._bump(self._c_failures, n_fail)
+            self._bump(self._c_repairs, n_repair)
             up = (was_up & ~fails) | repairs
+        self._bump(self._c_steps, 1)
         self.up = up
         self.utilization = np.where(up, u_load, 0.0)
         self.energy_j += dt_s * np.where(
@@ -176,13 +207,28 @@ class DeviceFleet:
         ctx = self.ctx
         yield ctx.sim.timeout(at_s - ctx.now)
         self.forced_outage = True
-        ctx.publish("chaos.zone.fail", {
-            "zone": self.zone, "devices": int(self.up.sum()),
-            "time_s": ctx.now})
+        # The fault is the causal root: the publish below rides inside a
+        # root span, relay taps ship its context to subscriber zones,
+        # and everything the continuum does about this outage — local
+        # handlers, cross-zone reactions, the eventual repair — hangs
+        # off one trace id (``repro-obs tree`` shows a single tree).
+        with ctx.tracer.start_span(
+                "continuum.fault.inject", layer="chaos", root=True,
+                zone=self.zone, kind="zone_outage") as fault:
+            fault_context = getattr(fault, "context", None)
+            ctx.publish("chaos.zone.fail", {
+                "zone": self.zone, "devices": int(self.up.sum()),
+                "time_s": ctx.now})
         yield ctx.sim.timeout(duration_s)
         self.forced_outage = False
-        ctx.publish("chaos.zone.repair", {
-            "zone": self.zone, "devices": 0, "time_s": ctx.now})
+        # The repair happens long after the fault span closed; resuming
+        # its context keeps the remediation on the same causal tree.
+        with ctx.tracer.resume(fault_context):
+            with ctx.tracer.start_span(
+                    "continuum.fault.repair", layer="chaos",
+                    zone=self.zone, kind="zone_outage"):
+                ctx.publish("chaos.zone.repair", {
+                    "zone": self.zone, "devices": 0, "time_s": ctx.now})
 
     # -- accounting --------------------------------------------------------
 

@@ -65,6 +65,10 @@ class ScaleConfig:
     #: bookkeeping does not drown the trace at fine lookaheads.
     barrier_record_every: int = 50
     trace_capacity: int = 65536
+    #: Enable the opt-in :class:`~repro.obs.profiler.ShardProfiler`
+    #: (per-epoch advance/wait wall times — nondeterministic, never part
+    #: of the digest; see ``repro-obs shards``).
+    profile: bool = False
 
     def zone_names(self) -> list[str]:
         return [f"zone-{i:02d}" for i in range(self.zones)]
@@ -102,6 +106,19 @@ def build_scale_zone(ctx, zone: str, config: ScaleConfig) -> dict:
 
         ctx.subscribe("shard.fleet.telemetry.*", on_telemetry)
         state["aggregate"] = aggregate
+
+        # Zone 0 also watches chaos events continuum-wide. The handler
+        # opens a span, so a fault injected in another zone produces a
+        # cross-zone causal tree: ``continuum.fault.inject`` (origin
+        # zone) → ``shard.relay.deliver`` → ``scale.outage.watch``
+        # (zone 0) — one trace id across zones and worker processes.
+        def on_chaos(topic: str, payload: dict) -> None:
+            with ctx.tracer.start_span("scale.outage.watch",
+                                       layer="continuum", zone=zone,
+                                       origin=payload["zone"]):
+                aggregate["outages"] = aggregate.get("outages", 0) + 1
+
+        ctx.subscribe("chaos.zone.*", on_chaos)
     base, rem = divmod(config.devices, config.zones)
     fleet = DeviceFleet(
         zone, base + (1 if index < rem else 0), ctx=ctx,
@@ -174,7 +191,7 @@ def run_scale_scenario(config: ScaleConfig = ScaleConfig(),
             barrier_record_every=config.barrier_record_every,
             trace_capacity=config.trace_capacity,
             zone_builder=build_scale_zone, zone_args=config,
-            zone_finalizer=finalize_scale_zone)
+            zone_finalizer=finalize_scale_zone, profile=config.profile)
         try:
             parallel.run(until=config.horizon_s)
             by_zone = parallel.finalize()
@@ -190,7 +207,7 @@ def run_scale_scenario(config: ScaleConfig = ScaleConfig(),
         seed=config.seed, zones=names, n_shards=shards,
         link_latency_s=config.link_latency_s,
         barrier_record_every=config.barrier_record_every,
-        trace_capacity=config.trace_capacity)
+        trace_capacity=config.trace_capacity, profile=config.profile)
     states = [build_scale_zone(sharded.zone(name), name, config)
               for name in names]
     sharded.run(until=config.horizon_s)

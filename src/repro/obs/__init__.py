@@ -7,11 +7,13 @@ Three instruments over the PR-2 runtime spine:
 - :mod:`repro.obs.metrics` — the unified ``layer.subsystem.name``
   metrics registry with Prometheus-style exposition.
 - :mod:`repro.obs.profiler` — opt-in DES drain-loop profiler
-  attributing wall/sim time per owning process.
+  attributing wall/sim time per owning process, plus the sharded-run
+  :class:`~repro.obs.profiler.ShardProfiler` (per-epoch advance/
+  barrier-wait/straggler accounting).
 
 ``python -m repro.obs`` (console script ``repro-obs``) inspects
 exported trace JSONL files: ``tree``, ``timeline``, ``metrics``,
-``profile``.
+``profile``, ``shards``.
 """
 
 from repro.obs.metrics import (
@@ -21,9 +23,15 @@ from repro.obs.metrics import (
     Histogram,
     METRICS_TOPIC,
     MetricsRegistry,
+    payload_delta,
     render_exposition,
 )
-from repro.obs.profiler import PROFILE_TOPIC, DesProfiler
+from repro.obs.profiler import (
+    PROFILE_TOPIC,
+    SHARD_PROFILE_TOPIC,
+    DesProfiler,
+    ShardProfiler,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     SPAN_TOPIC,
@@ -43,10 +51,13 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "PROFILE_TOPIC",
+    "SHARD_PROFILE_TOPIC",
     "SPAN_TOPIC",
+    "ShardProfiler",
     "Span",
     "SpanContext",
     "Tracer",
     "null_span",
+    "payload_delta",
     "render_exposition",
 ]

@@ -208,8 +208,62 @@ class MetricsRegistry:
         return {name: self._metrics[name].to_payload()
                 for name in sorted(self._metrics)}
 
+    def merge_payload(self, payload: dict[str, Any], *,
+                      exclude: frozenset[str] = frozenset()) -> None:
+        """Fold one :meth:`to_payload` snapshot into this registry.
+
+        Counters and gauges add (labels key-wise), histograms add
+        count-for-count — which requires identical bucket bounds, the
+        fixed-bucket design's whole point. Addition is commutative, but
+        the sharded coordinators still fold zone payloads in rank order
+        so even label/bucket *registration* order is pinned. ``exclude``
+        drops metric names whose values are execution details (e.g. a
+        shared-heap event count) rather than zone-deterministic facts.
+        """
+        for name in sorted(payload):
+            if name in exclude:
+                continue
+            data = payload[name]
+            kind = data.get("kind")
+            if kind == "counter":
+                counter = self.counter(name,
+                                       label_key=data.get("label_key"))
+                counter.value += data["value"]
+                labels = counter.labels
+                for label, amount in data.get("labels", {}).items():
+                    labels[label] = labels.get(label, 0) + amount
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(gauge.value + data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=data["buckets"])
+                if list(hist.buckets) != list(data["buckets"]):
+                    raise TypeError(
+                        f"histogram {name!r} bucket mismatch: "
+                        f"{list(hist.buckets)} vs {data['buckets']}")
+                for i, count in enumerate(data["counts"]):
+                    hist.counts[i] += count
+                hist.count += data["count"]
+                hist.sum += data["sum"]
+            else:
+                raise TypeError(
+                    f"metric {name!r}: cannot merge kind {kind!r}")
+
     def render(self) -> str:
         return render_exposition(self.to_payload())
+
+
+def payload_delta(previous: dict[str, Any],
+                  current: dict[str, Any]) -> dict[str, Any]:
+    """Metrics that changed (or appeared) between two payload snapshots.
+
+    Per-metric granularity: an entry is shipped whole when any of its
+    value/labels/buckets changed. Shard workers piggyback these deltas
+    on the per-epoch flush ack; applying a delta is plain ``update`` on
+    the coordinator's per-zone replica payload.
+    """
+    return {name: data for name, data in current.items()
+            if previous.get(name) != data}
 
 
 def _mangle(name: str) -> str:

@@ -29,6 +29,9 @@ from typing import Any
 #: Topic under which a profile snapshot is recorded in the trace.
 PROFILE_TOPIC = "obs.profile"
 
+#: Topic under which a sharded-run profile snapshot is recorded.
+SHARD_PROFILE_TOPIC = "obs.shard_profile"
+
 
 def _owner_of(event: Any, callbacks: list) -> str:
     """Attribute an executed event to its owning process or kernel type."""
@@ -96,4 +99,71 @@ class DesProfiler:
             "rows": {owner: {"events": row[0], "wall_ns": row[1],
                              "sim_s": row[2]}
                      for owner, row in sorted(self.rows.items())},
+        }
+
+
+class ShardProfiler:
+    """Barrier/straggler accounting for the sharded backends (opt-in).
+
+    One row per epoch: per-shard advance wall time (how long each heap
+    took to reach the barrier), per-shard barrier wait (the idle gap to
+    the slowest shard — on the sequential backend shards advance one
+    after another, so "wait" reads as *the time the barrier would have
+    idled* had they run concurrently), per-shard relay injections, and
+    the critical-path shard (max advance, lowest index on ties).
+
+    Like :class:`DesProfiler`, wall times are nondeterministic: the
+    payload is recorded under :data:`SHARD_PROFILE_TOPIC` only by
+    ``snapshot_observability`` exports, never in the merged trace the
+    digest fingerprints — and enabling profiling must not (and does
+    not) perturb any zone's record stream.
+    """
+
+    #: Wall-clock source, read only from obs code (continuum-lint keeps
+    #: simulation packages wall-clock-free); class attribute so tests
+    #: can substitute a fake clock.
+    clock = staticmethod(time.perf_counter_ns)
+
+    def __init__(self, n_shards: int, backend: str = "sequential"):
+        self.n_shards = int(n_shards)
+        self.backend = backend
+        self.epochs: list[dict[str, Any]] = []
+        self.advance_ns = [0] * self.n_shards
+        self.wait_ns = [0] * self.n_shards
+        self.relay = [0] * self.n_shards
+        self.critical_epochs = [0] * self.n_shards
+
+    def record_epoch(self, epoch: int, t_barrier_s: float,
+                     advance_ns: list[int], relay: list[int]) -> int:
+        """Account one epoch; returns the critical-path shard index."""
+        slowest = max(advance_ns)
+        critical = advance_ns.index(slowest)
+        wait = [slowest - ns for ns in advance_ns]
+        self.epochs.append({
+            "epoch": epoch, "t_s": t_barrier_s,
+            "advance_ns": list(advance_ns), "wait_ns": wait,
+            "relay": list(relay), "critical": critical})
+        for shard in range(self.n_shards):
+            self.advance_ns[shard] += advance_ns[shard]
+            self.wait_ns[shard] += wait[shard]
+            self.relay[shard] += relay[shard]
+        self.critical_epochs[critical] += 1
+        return critical
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-ready snapshot (epoch rows + per-shard totals).
+
+        Relay counts and epoch/shard structure are deterministic; the
+        wall_ns values are not — same exclusion rule as
+        :class:`DesProfiler`.
+        """
+        return {
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "epochs": list(self.epochs),
+            "shards": [{"advance_ns": self.advance_ns[s],
+                        "wait_ns": self.wait_ns[s],
+                        "relay": self.relay[s],
+                        "critical_epochs": self.critical_epochs[s]}
+                       for s in range(self.n_shards)],
         }

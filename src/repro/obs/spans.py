@@ -136,6 +136,36 @@ class _ResumedScope:
         return False
 
 
+class _RelayScope:
+    """Ambient-stack entry for the cross-shard relay fast path.
+
+    ``repro.runtime.shard.relay_deliver`` hand-inlines the
+    ``resume(parent) + start_span("shard.relay.deliver")`` pair — it
+    runs once per relayed message, and the generic context-manager
+    construction costs more than the relay itself. One slot-allocated
+    scope stands in for both stack entries; handlers reacting inside
+    the delivery see exactly the context/envelope the generic pair
+    would have exposed.
+
+    The caller hands over the envelope dict (it already holds the ids
+    as locals); ``context`` materializes lazily because most deliveries
+    never read it — only handlers that :meth:`Tracer.capture` or open
+    child spans touch the stack top's context, and a frozen-dataclass
+    construction per delivery is measurable on the relay path.
+    """
+
+    __slots__ = ("envelope",)
+
+    def __init__(self, envelope: dict[str, Any]):
+        self.envelope = envelope
+
+    @property
+    def context(self) -> SpanContext:
+        env = self.envelope
+        return SpanContext(env["trace_id"], env["span_id"],
+                           env["parent_id"])
+
+
 class _ResumeGuard:
     """Context manager that pushes/pops a resumed scope on the stack."""
 

@@ -15,13 +15,18 @@ from repro.runtime.context import (
     ensure_context,
 )
 from repro.runtime.parallel import ParallelShardedContext, ShardWorkerError
-from repro.runtime.shard import ShardedContext, ZoneRuntime
+from repro.runtime.shard import (
+    SHARD_SCOPED_METRICS,
+    ShardedContext,
+    ZoneRuntime,
+)
 from repro.runtime.shard_worker import ShardWorkerHost, WorkerSpec
 from repro.runtime.trace import TraceRecord, TraceRecorder, jsonify
 
 __all__ = [
     "ParallelShardedContext",
     "RuntimeContext",
+    "SHARD_SCOPED_METRICS",
     "ShardedContext",
     "ShardWorkerError",
     "ShardWorkerHost",

@@ -67,8 +67,16 @@ class TracedEventBus(EventBus):
         self._publish_counter = metrics.counter(
             "runtime.bus.publishes", "bus publishes by topic",
             label_key="topic") if metrics is not None else None
+        #: Monotonic per-bus publish id, and the id of the publish
+        #: currently being delivered. Relay taps key their dedup and
+        #: suppression on these — unlike the trace sequence, a publish
+        #: id is stable for the whole delivery even when a handler
+        #: records spans or publishes nested messages mid-dispatch.
+        self.pub_seq = 0
+        self.current_pub = 0
 
     def publish(self, topic: str, payload: Any = None) -> int:  # perf: hot
+        self.pub_seq = pub = self.pub_seq + 1
         stack = self._span_stack
         self._trace.record(self._clock(), topic, payload,
                            stack[-1].envelope if stack else None)
@@ -77,7 +85,12 @@ class TracedEventBus(EventBus):
             counter.value += 1
             labels = counter.labels
             labels[topic] = labels.get(topic, 0) + 1
-        return super().publish(topic, payload)
+        prev = self.current_pub
+        self.current_pub = pub
+        try:
+            return super().publish(topic, payload)
+        finally:
+            self.current_pub = prev
 
 
 class RuntimeContext:
@@ -190,21 +203,25 @@ class RuntimeContext:
 
     # -- observability -----------------------------------------------------
 
-    def snapshot_observability(self) -> None:
+    def snapshot_observability(self) -> dict[str, Any]:
         """Embed metric (and profiler) snapshots in the trace.
 
         Appends an ``obs.metrics`` record with the full registry payload
         and, when a :class:`~repro.obs.profiler.DesProfiler` is
         installed on the simulator, an ``obs.profile`` record — so one
         exported JSONL carries spans, events, metrics and profile, and
-        ``repro-obs`` needs nothing but the file.
+        ``repro-obs`` needs nothing but the file. Returns the snapshot
+        (same ``{"metrics": ..., "profile": ...}`` shape the sharded
+        backends' ``snapshot_observability`` produces).
         """
-        self.trace.record(self.now, METRICS_TOPIC,
-                          self.metrics.to_payload())
+        snapshot: dict[str, Any] = {"metrics": self.metrics.to_payload()}
+        self.trace.record(self.now, METRICS_TOPIC, snapshot["metrics"])
         profiler = getattr(self.sim, "_profiler", None)
         if profiler is not None:
+            snapshot["profile"] = profiler.to_payload()
             self.trace.record(self.now, PROFILE_TOPIC,
-                              profiler.to_payload())
+                              snapshot["profile"])
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"RuntimeContext(seed={self.seed}, now={self.now}, "

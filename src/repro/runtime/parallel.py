@@ -51,7 +51,13 @@ from typing import Any, Callable, Sequence
 
 from repro.core.errors import ConfigurationError, ReproError
 from repro.obs.metrics import MetricsRegistry
-from repro.runtime.shard import render_merged_jsonl
+from repro.obs.profiler import ShardProfiler
+from repro.runtime.shard import (
+    EPOCH_BUCKETS,
+    SHARD_SCOPED_METRICS,
+    append_observability_jsonl,
+    render_merged_jsonl,
+)
 from repro.runtime.shard_worker import WorkerSpec, worker_main
 from repro.runtime.trace import TraceRecord
 
@@ -162,7 +168,8 @@ class ParallelShardedContext:
                  zone_args: Any = None,
                  zone_finalizer: Callable | None = None,
                  start_method: str | None = None,
-                 worker_timeout_s: float = 600.0):
+                 worker_timeout_s: float = 600.0,
+                 profile: bool = False):
         names = list(zones)
         if not names:
             raise ConfigurationError("at least one zone is required")
@@ -227,6 +234,27 @@ class ParallelShardedContext:
             "runtime.shard.trace.batches",
             "per-epoch record batches streamed back by workers")
 
+        # Per-zone metrics replicas: payload dicts kept current by the
+        # per-epoch deltas workers piggyback on their flush acks,
+        # applied in (epoch, zone rank) order. aggregate_metrics folds
+        # them exactly like the sequential backend folds live zone
+        # registries — byte-identical payloads for any worker count.
+        self._zone_metrics: list[dict] = [dict() for _ in range(n)]
+
+        #: Opt-in barrier/straggler profiling (unit: worker process).
+        #: Coordinator-side only — never observable in the merged trace.
+        self.profiler = ShardProfiler(self.n_workers, "parallel") \
+            if profile else None
+        if self.profiler is not None:
+            self._h_advance = self.metrics.histogram(
+                "runtime.shard.epoch.advance_seconds",
+                "per-shard wall time advancing to each epoch barrier",
+                buckets=EPOCH_BUCKETS)
+            self._h_wait = self.metrics.histogram(
+                "runtime.shard.epoch.wait_seconds",
+                "per-shard idle wall time at each epoch barrier",
+                buckets=EPOCH_BUCKETS)
+
         epoch_payload = None if self.epoch_s == _INF else self.epoch_s
         lookahead_payload = None if self.lookahead_s == _INF \
             else self.lookahead_s
@@ -261,6 +289,7 @@ class ParallelShardedContext:
                 msg = self._recv(handle, "ready")
                 for rank, patterns in msg[1].items():
                     self._model.report(rank, patterns)
+                self._apply_metrics(msg[2])
         except BaseException:
             self._abort()
             raise
@@ -356,13 +385,21 @@ class ParallelShardedContext:
             self._streams[rank].extend(records)
             self._trace_batches.inc()
 
-    def _absorb_stats(self, handle: _WorkerHandle, stats) -> None:
+    def _absorb_stats(self, handle: _WorkerHandle, stats) -> int:
+        """Fold a worker's stats; returns messages injected since the
+        last absorb (the profiler's per-worker relay column)."""
         injected = stats["injected"] - handle.injected
         if injected:
             self._relay_messages.inc(
                 injected, label=f"worker-{handle.worker_id}")
         handle.injected = stats["injected"]
         handle.events = stats["events"]
+        return injected
+
+    def _apply_metrics(self, report: dict[int, dict]) -> None:
+        """Apply one worker's per-zone metric deltas to the replicas."""
+        for rank, delta in report.items():
+            self._zone_metrics[rank].update(delta)
 
     def _taps_for(self, handle: _WorkerHandle,
                   directives) -> list[tuple[int, int, str]]:
@@ -399,6 +436,8 @@ class ParallelShardedContext:
                                                    self._pending_taps)))
             self._pending_taps = []
             remote_for: list[dict] = [dict() for _ in self._workers]
+            advance_ns = [0] * self.n_workers
+            relay = [0] * self.n_workers
             for handle in self._workers:
                 msg = self._recv(handle, "barrier")
                 _, remote_out, batches, stats = msg
@@ -407,6 +446,7 @@ class ParallelShardedContext:
                     self._relay_routed.inc(len(batch))
                 self._absorb_trace(batches)
                 self._absorb_stats(handle, stats)
+                advance_ns[handle.worker_id] = stats["advance_ns"]
             record = self._epoch % self._barrier_record_every == 0
             for handle in self._workers:
                 self._send(handle, (
@@ -414,12 +454,24 @@ class ParallelShardedContext:
                     remote_for[handle.worker_id], record))
             # Post-flush pattern reports feed the relay model; new tap
             # directives ride the next advance — the same point in the
-            # epoch the sequential backend refreshes its taps.
+            # epoch the sequential backend refreshes its taps. Metric
+            # deltas ride the same ack, applied worker-by-worker with
+            # zones in rank order within each replica update.
             for handle in self._workers:
                 msg = self._recv(handle, "flushed")
                 for rank, patterns in msg[1].items():
                     self._model.report(rank, patterns)
+                self._apply_metrics(msg[2])
+                relay[handle.worker_id] = \
+                    self._absorb_stats(handle, msg[3])
             self._pending_taps.extend(self._model.refresh())
+            if self.profiler is not None:
+                self.profiler.record_epoch(self._epoch, t_next,
+                                           advance_ns, relay)
+                row = self.profiler.epochs[-1]
+                for adv, wait in zip(row["advance_ns"], row["wait_ns"]):
+                    self._h_advance.observe(adv / 1e9)
+                    self._h_wait.observe(wait / 1e9)
             if self._model.tapped and self.lookahead_s == _INF:
                 self._abort()
                 raise ConfigurationError(_NO_LOOKAHEAD_MSG)
@@ -434,6 +486,7 @@ class ParallelShardedContext:
             msg = self._recv(handle, "trace")
             self._absorb_trace(msg[1])
             self._absorb_stats(handle, msg[2])
+            self._apply_metrics(msg[3])
 
     def finalize(self) -> dict[str, Any]:
         """Collect every zone finalizer's result, keyed by zone name."""
@@ -451,6 +504,7 @@ class ParallelShardedContext:
             results.update(msg[1])
             self._absorb_trace(msg[2])
             self._absorb_stats(handle, msg[3])
+            self._apply_metrics(msg[4])
         self._final = results
         return results
 
@@ -527,9 +581,16 @@ class ParallelShardedContext:
                 for name, rec in merged)
         return self._jsonl
 
-    def export_jsonl(self, path: str | Path) -> int:
-        """Write the merged trace to *path*; returns records written."""
+    def export_jsonl(self, path: str | Path, *,
+                     observability: bool = False) -> int:
+        """Write the merged trace to *path*; returns records written.
+        ``observability=True`` appends the aggregated metrics snapshot
+        (plus the profiler payload when profiling) — same trailing rows,
+        byte for byte, as the sequential backend's export."""
         text = self.to_jsonl()
+        if observability:
+            text = append_observability_jsonl(
+                text, self.snapshot_observability(), self._now)
         Path(path).write_text(text + ("\n" if text else ""))
         return text.count("\n") + 1 if text else 0
 
@@ -540,6 +601,34 @@ class ParallelShardedContext:
         if self._digest is None:
             self._digest = hashlib.sha256(text.encode()).hexdigest()
         return self._digest
+
+    # -- aggregated observability ------------------------------------------
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Fold the per-zone metric replicas (kept current by the
+        per-epoch worker deltas) into one global registry, zones in
+        rank order — byte-identical to the sequential backend's
+        ``aggregate_metrics`` for any worker count. Shard-execution-
+        detail metrics are excluded and the backend-invariant event
+        total re-derived, exactly like the sequential fold."""
+        registry = MetricsRegistry()
+        for payload in self._zone_metrics:
+            registry.merge_payload(payload,
+                                   exclude=SHARD_SCOPED_METRICS)
+        registry.gauge(
+            "continuum.sim.events_executed",
+            "DES events executed across every shard heap"
+        ).set(self.events_executed)
+        return registry
+
+    def snapshot_observability(self) -> dict[str, Any]:
+        """Aggregated metrics payload plus the shard profile (if
+        profiling) — same shape and bytes as the sequential backend."""
+        snapshot: dict[str, Any] = {
+            "metrics": self.aggregate_metrics().to_payload()}
+        if self.profiler is not None:
+            snapshot["profile"] = self.profiler.to_payload()
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ParallelShardedContext(seed={self.seed}, "

@@ -41,7 +41,9 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ConfigurationError, NotFoundError
 from repro.core.rng import derive_seed
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import METRICS_TOPIC, MetricsRegistry
+from repro.obs.profiler import SHARD_PROFILE_TOPIC, ShardProfiler
+from repro.obs.spans import SPAN_TOPIC, SpanContext, _RelayScope
 from repro.runtime.context import RuntimeContext
 from repro.runtime.trace import TraceRecord
 
@@ -52,6 +54,23 @@ _INF = float("inf")
 PARTITION_TOPIC = "shard.partition.assign"
 BARRIER_TOPIC = "shard.epoch.barrier"
 RELAY_TOPIC = "shard.relay.deliver"
+
+#: Metric names excluded from cross-zone aggregation: they read
+#: execution-detail state (the *shared* shard heap, the live ring
+#: occupancy of a trace that workers drain per epoch), so their values
+#: depend on the shard/worker count even though every zone-deterministic
+#: fact does not. ``aggregate_metrics`` re-derives the one that has a
+#: backend-invariant meaning (total events executed) from coordinator
+#: state instead.
+SHARD_SCOPED_METRICS = frozenset({
+    "continuum.sim.events_executed",
+    "runtime.trace.records",
+    "runtime.trace.dropped",
+})
+
+#: Buckets for the ``runtime.shard.epoch.*`` wall-time histograms:
+#: microseconds (trivial shards) up to seconds (100k-device heaps).
+EPOCH_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 
 
 class ZoneRuntime:
@@ -64,7 +83,8 @@ class ZoneRuntime:
     would against a standalone context.
     """
 
-    __slots__ = ("name", "rank", "shard", "ctx", "suppress_seq")
+    __slots__ = ("name", "rank", "shard", "ctx", "suppress_seq",
+                 "relay_scope")
 
     def __init__(self, name: str, rank: int, shard: int,
                  ctx: RuntimeContext):
@@ -72,10 +92,17 @@ class ZoneRuntime:
         self.rank = rank
         self.shard = shard
         self.ctx = ctx
-        #: Trace seq of an in-flight relay delivery on this zone's bus;
+        #: Bus publish id of an in-flight relay delivery on this zone;
         #: relay taps skip that publish so a message is relayed once,
         #: from its origin zone, never re-forwarded by a destination.
         self.suppress_seq = -1
+        #: Reusable ambient-stack entry for :func:`relay_deliver`.
+        #: Deliveries on one zone never nest (they are DES callbacks,
+        #: and further relays cross a barrier first) and nothing
+        #: retains the scope between deliveries — only its envelope
+        #: dict, which IS rebuilt per delivery — so one object serves
+        #: every delivery without a per-message allocation.
+        self.relay_scope = _RelayScope({})
 
 
 # -- relay primitives shared by the sequential and multiprocess backends --
@@ -88,28 +115,124 @@ class ZoneRuntime:
 def make_relay_tap(src: ZoneRuntime, outbox: list, mark: list):
     """Tap closure buffering *src*'s matching publishes for one
     (src, dest) pair. ``mark`` holds the last relayed publish id so a
-    publish matching several tapped patterns is buffered once."""
-    trace = src.ctx.trace
+    publish matching several tapped patterns is buffered once.
+
+    Alongside ``(send_s, topic, payload)`` the tap captures the open
+    span context: bus delivery is synchronous, so the publisher's span
+    is still ambient when the tap fires. It is shipped as a plain
+    ``(trace_id, span_id)`` tuple (picklable — the parallel backend
+    routes buffers through worker pipes) and resumed in the destination
+    zone by :func:`relay_deliver`, which is how one fault's causal tree
+    crosses zones and worker processes."""
+    bus = src.ctx.bus
     sim = src.ctx.sim
+    stack = src.ctx.tracer._stack
+    # One ambient span usually covers a burst of publishes (a fault and
+    # its fallout), so the shipped tuple is cached per context object.
+    # The cache holds a strong reference, so the id can't be recycled
+    # under the identity check.
+    last = [None, None]
 
     def tap(topic: str, payload: Any) -> None:
-        # trace._seq is unique per publish on this zone (the traced
-        # bus records before delivery), so it both dedupes a publish
-        # matching several tapped patterns and identifies the relay's
-        # own delivery publish (suppress_seq) to stop re-forwarding.
-        pub = trace._seq
+        # The bus publish id is unique per publish on this zone and —
+        # unlike the trace sequence — stable for the whole delivery
+        # even when an earlier handler records spans or publishes
+        # nested messages, so it both dedupes a publish matching
+        # several tapped patterns and identifies the relay's own
+        # delivery publish (suppress_seq) to stop re-forwarding.
+        pub = bus.current_pub
         if mark[0] == pub or src.suppress_seq == pub:
             return
         mark[0] = pub
-        outbox.append((sim.now, topic, payload))
+        if stack:
+            context = stack[-1].context
+            if context is last[0]:
+                shipped = last[1]
+            else:
+                shipped = (context.trace_id, context.span_id)
+                last[0] = context
+                last[1] = shipped
+        else:
+            shipped = None
+        outbox.append((sim.now, topic, payload, shipped))
     return tap
 
 
-def relay_deliver(dest: ZoneRuntime, topic: str, payload: Any) -> None:
-    """Publish a relayed message on *dest*'s bus without re-forwarding."""
-    dest.suppress_seq = dest.ctx.trace._seq + 1
-    dest.ctx.bus.publish(topic, payload)
-    dest.suppress_seq = -1
+#: Prebuilt shape of the ``obs.span`` payload the relay fast path
+#: records — copied and filled per delivery so the constant keys cost
+#: one ``dict.copy`` instead of a literal rebuild.
+_RELAY_SPAN_TEMPLATE = {
+    "name": "shard.relay.deliver", "layer": "runtime",
+    "trace_id": "", "span_id": "", "parent_id": None,
+    "start_s": 0.0, "end_s": 0.0, "status": "ok", "attrs": None,
+}
+
+
+def relay_deliver(dest: ZoneRuntime, topic: str, payload: Any,
+                  span: tuple | None = None) -> None:
+    """Publish a relayed message on *dest*'s bus without re-forwarding.
+
+    When the buffered publish carried a span context, the delivery
+    resumes it and opens a ``shard.relay.deliver`` child span around the
+    publish — its id minted from the *destination* zone's ``obs.tracer``
+    stream, so the span tree is a pure function of zone streams and
+    stays byte-identical for any shard/worker count. Handlers react
+    inside the relay span, nesting their own spans (and any further
+    relayed publishes) under the original cause.
+    """
+    bus = dest.ctx.bus
+    tracer = dest.ctx.tracer
+    if span is None or not tracer.enabled:
+        dest.suppress_seq = bus.pub_seq + 1
+        bus.publish(topic, payload)
+        dest.suppress_seq = -1
+        return
+    # Hand-inlined equivalent of
+    #     with tracer.resume(SpanContext(span[0], span[1])):
+    #         with tracer.start_span("shard.relay.deliver",
+    #                                layer="runtime", topic=topic,
+    #                                zone=dest.name):
+    #             <suppressed publish>
+    # — same RNG draw, same stack visibility, byte-identical obs.span
+    # record (pinned by a test). This runs once per relayed message;
+    # the generic context managers would cost more than the relay, and
+    # the perf gate holds span propagation at <= 1.3x the bare relay.
+    trace_id, parent_id = span
+    # Same RNG stream and rendering as Tracer._new_id, minus the call;
+    # same clock as Tracer._clock (the context wires the tracer to
+    # ``sim.now``), minus the lambda hop.
+    span_id = "%016x" % tracer._id_rng.getrandbits(64)
+    now = dest.ctx.sim.now
+    stack = tracer._stack
+    scope = dest.relay_scope
+    scope.envelope = {"trace_id": trace_id, "span_id": span_id,
+                      "parent_id": parent_id}
+    stack.append(scope)
+    status = "ok"
+    try:
+        dest.suppress_seq = bus.pub_seq + 1
+        bus.publish(topic, payload)
+        dest.suppress_seq = -1
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        stack.pop()
+        tracer.spans_recorded += 1
+        rec = _RELAY_SPAN_TEMPLATE.copy()
+        rec["trace_id"] = trace_id
+        rec["span_id"] = span_id
+        rec["parent_id"] = parent_id
+        rec["start_s"] = now
+        rec["end_s"] = now
+        rec["status"] = status
+        rec["attrs"] = {"topic": topic, "zone": dest.name}
+        # TraceRecorder.record_raw, inlined (the payload is already
+        # JSON-primitive and `now` already a float).
+        trace = tracer._trace
+        trace._records.append(TraceRecord(trace._seq, now, SPAN_TOPIC,
+                                          rec))
+        trace._seq += 1
 
 
 def flush_zone_inbox(dest: ZoneRuntime, batches: Iterable[list],
@@ -121,8 +244,9 @@ def flush_zone_inbox(dest: ZoneRuntime, batches: Iterable[list],
     the relay/barrier bookkeeping records. Returns messages injected."""
     sim = dest.ctx.sim
     count = 0
+    spans = 0
     for batch in batches:
-        for send_s, topic, payload in batch:
+        for send_s, topic, payload, span in batch:
             # Mathematically send + latency >= barrier; clamp the
             # one-ulp float shortfall when the sum rounds below
             # the epoch-grid boundary (same clamp on every shard
@@ -130,13 +254,15 @@ def flush_zone_inbox(dest: ZoneRuntime, batches: Iterable[list],
             delay = send_s + latency - sim.now
             arrival = sim.timeout(delay if delay > 0.0 else 0.0)
             arrival.add_callback(
-                lambda _ev, _z=dest, _t=topic, _p=payload:
-                relay_deliver(_z, _t, _p))
+                lambda _ev, _z=dest, _t=topic, _p=payload, _s=span:
+                relay_deliver(_z, _t, _p, _s))
             count += 1
+            if span is not None:
+                spans += 1
     if count:
         dest.ctx.publish(RELAY_TOPIC, {
             "epoch": epoch, "zone": dest.name, "count": count,
-            "time_s": t_barrier})
+            "spans": spans, "time_s": t_barrier})
     if record_barrier:
         dest.ctx.publish(BARRIER_TOPIC, {
             "epoch": epoch, "zone": dest.name, "time_s": t_barrier})
@@ -154,6 +280,28 @@ def render_merged_jsonl(rows: Iterable[tuple]) -> str:
             obj["span"] = span
         lines.append(json.dumps(obj, sort_keys=True,
                                 separators=(",", ":")))
+    return "\n".join(lines)
+
+
+def append_observability_jsonl(text: str, snapshot: dict,
+                               time_s: float) -> str:
+    """Append ``obs.metrics`` (and, when profiling, ``obs.shard_profile``)
+    rows to a merged-trace JSONL, continuing the global seq — the
+    sharded counterpart of ``RuntimeContext.snapshot_observability``.
+    The rows are appended at export time only; ``digest()`` fingerprints
+    the pure event trace, so exporting observability (whose profile
+    rows carry nondeterministic wall times) never moves the digest."""
+    lines = [text] if text else []
+    seq = text.count("\n") + 1 if text else 0
+    rows = [(METRICS_TOPIC, snapshot["metrics"])]
+    profile = snapshot.get("profile")
+    if profile is not None:
+        rows.append((SHARD_PROFILE_TOPIC, profile))
+    for topic, payload in rows:
+        lines.append(json.dumps(
+            {"seq": seq, "time_s": time_s, "topic": topic,
+             "payload": payload}, sort_keys=True, separators=(",", ":")))
+        seq += 1
     return "\n".join(lines)
 
 
@@ -176,7 +324,7 @@ class ShardedContext:
                  n_shards: int = 1, *, link_latency_s: float | None = None,
                  epoch_s: float | None = None, start_time: float = 0.0,
                  trace_capacity: int = 65536,
-                 barrier_record_every: int = 1):
+                 barrier_record_every: int = 1, profile: bool = False):
         names = list(zones)
         if not names:
             raise ConfigurationError("at least one zone is required")
@@ -255,6 +403,21 @@ class ShardedContext:
         self._relay_messages = self.metrics.counter(
             "runtime.shard.relay.messages",
             "cross-zone messages injected at barriers", label_key="zone")
+
+        #: Opt-in barrier/straggler profiling. Wall times live on the
+        #: coordinator (profiler + runtime.shard.epoch.* histograms),
+        #: never in a zone trace — profiling cannot move the digest.
+        self.profiler = ShardProfiler(self.n_shards, "sequential") \
+            if profile else None
+        if self.profiler is not None:
+            self._h_advance = self.metrics.histogram(
+                "runtime.shard.epoch.advance_seconds",
+                "per-shard wall time advancing to each epoch barrier",
+                buckets=EPOCH_BUCKETS)
+            self._h_wait = self.metrics.histogram(
+                "runtime.shard.epoch.wait_seconds",
+                "per-shard idle wall time at each epoch barrier",
+                buckets=EPOCH_BUCKETS)
 
         epoch_payload = None if self.epoch_s == _INF else self.epoch_s
         lookahead_payload = None if self.lookahead_s == _INF \
@@ -355,12 +518,14 @@ class ShardedContext:
     def _make_tap(self, src: ZoneRuntime, pair: tuple[int, int]):
         return make_relay_tap(src, self._outbox[pair], self._marks[pair])
 
-    def _flush(self, epoch: int, t_barrier: float) -> None:
+    def _flush(self, epoch: int, t_barrier: float) -> list[int]:
         """Barrier: inject buffered cross-zone messages into their
         destination shards at true arrival times, in deterministic
-        (epoch, zone_rank, seq) order."""
+        (epoch, zone_rank, seq) order. Returns per-shard injected
+        counts (the profiler's relay column)."""
         latency = self.link_latency_s or 0.0
         record_barrier = epoch % self._barrier_record_every == 0
+        relay = [0] * self.n_shards
         for dest in self._zones:
             batches = []
             for src in self._zones:
@@ -375,6 +540,8 @@ class ShardedContext:
                 batch.clear()
             if count:
                 self._relay_messages.inc(count, label=dest.name)
+                relay[dest.shard] += count
+        return relay
 
     # -- execution ---------------------------------------------------------
 
@@ -400,9 +567,24 @@ class ShardedContext:
             else:
                 boundary = self._start + (self._epoch + 1) * self.epoch_s
             t_next = min(boundary, deadline)
-            for sim in self._sims:
-                sim.run(until=t_next)
-            self._flush(self._epoch, t_next)
+            profiler = self.profiler
+            if profiler is not None:
+                advance_ns = []
+                for sim in self._sims:
+                    t0 = profiler.clock()
+                    sim.run(until=t_next)
+                    advance_ns.append(profiler.clock() - t0)
+            else:
+                for sim in self._sims:
+                    sim.run(until=t_next)
+            relay = self._flush(self._epoch, t_next)
+            if profiler is not None:
+                profiler.record_epoch(self._epoch, t_next, advance_ns,
+                                      relay)
+                row = profiler.epochs[-1]
+                for adv, wait in zip(row["advance_ns"], row["wait_ns"]):
+                    self._h_advance.observe(adv / 1e9)
+                    self._h_wait.observe(wait / 1e9)
             self._now = t_next
             if boundary <= deadline:
                 self._epoch += 1
@@ -450,9 +632,18 @@ class ShardedContext:
                 for name, rec in merged)
         return self._jsonl
 
-    def export_jsonl(self, path: str | Path) -> int:
-        """Write the merged trace to *path*; returns records written."""
+    def export_jsonl(self, path: str | Path, *,
+                     observability: bool = False) -> int:
+        """Write the merged trace to *path*; returns records written.
+
+        ``observability=True`` appends the aggregated metrics snapshot
+        (and the profiler payload when profiling) as trailing rows, so
+        one file feeds every ``repro-obs`` subcommand. The digest stays
+        over the pure event trace either way."""
         text = self.to_jsonl()
+        if observability:
+            text = append_observability_jsonl(
+                text, self.snapshot_observability(), self._now)
         Path(path).write_text(text + ("\n" if text else ""))
         return text.count("\n") + 1 if text else 0
 
@@ -463,6 +654,38 @@ class ShardedContext:
         if self._digest is None:
             self._digest = hashlib.sha256(text.encode()).hexdigest()
         return self._digest
+
+    # -- aggregated observability ------------------------------------------
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Fold every zone's registry into one global registry.
+
+        Merge order is fixed by zone rank (and, on the parallel twin,
+        deltas are applied in ``(epoch, zone rank)`` order), shard-
+        execution-detail metrics are excluded (:data:`
+        SHARD_SCOPED_METRICS`) and the backend-invariant event total is
+        re-derived from the coordinator — so ``to_payload()`` /
+        ``render_exposition`` are byte-identical across backends and
+        worker counts. Pinned by ``tests/test_obs_sharded.py``."""
+        registry = MetricsRegistry()
+        for zone in self._zones:
+            registry.merge_payload(zone.ctx.metrics.to_payload(),
+                                   exclude=SHARD_SCOPED_METRICS)
+        registry.gauge(
+            "continuum.sim.events_executed",
+            "DES events executed across every shard heap"
+        ).set(self.events_executed)
+        return registry
+
+    def snapshot_observability(self) -> dict[str, Any]:
+        """Aggregated metrics payload plus the shard profile (if
+        profiling) — the dict :meth:`export_jsonl` appends and the
+        ``repro-obs metrics``/``shards`` subcommands render."""
+        snapshot: dict[str, Any] = {
+            "metrics": self.aggregate_metrics().to_payload()}
+        if self.profiler is not None:
+            snapshot["profile"] = self.profiler.to_payload()
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ShardedContext(seed={self.seed}, "

@@ -21,12 +21,15 @@ coordinator (:class:`~repro.runtime.parallel.ParallelShardedContext`):
     barrier injection for the worker's local zones — source batches
     merged from local buffers and coordinator-routed remote batches in
     *global* rank order, messages in send order — then reply
-    ``("flushed", pattern_report)`` so subscriptions added during the
-    epoch *or* by flush-time record handlers reach the coordinator's
-    relay model before the next epoch runs.
+    ``("flushed", pattern_report, metrics_report, stats)`` so
+    subscriptions added during the epoch *or* by flush-time record
+    handlers reach the coordinator's relay model before the next epoch
+    runs, and per-zone metric deltas keep the coordinator's replica
+    payloads current (deterministic aggregation — see
+    ``ShardedContext.aggregate_metrics``).
 ``("sync",)`` / ``("finalize",)`` / ``("close",)``
-    drain remaining trace records; run the zone finalizers and return
-    their results; exit.
+    drain remaining trace records (plus stats and metric deltas); run
+    the zone finalizers and return their results; exit.
 
 Determinism: the worker reuses the *same* tap/delivery/injection
 primitives as the sequential backend (``make_relay_tap``,
@@ -44,6 +47,8 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.core.rng import derive_seed
+from repro.obs.metrics import payload_delta
+from repro.obs.profiler import ShardProfiler
 from repro.runtime.context import RuntimeContext
 from repro.runtime.shard import (
     PARTITION_TOPIC,
@@ -124,6 +129,11 @@ class ShardWorkerHost:
         self._order_reported: dict[int, int] = \
             {z.rank: -1 for z in self.zones}
         self._injected = 0
+        # Metrics piggybacking: the last payload snapshot shipped per
+        # zone, so each reply carries only the entries that changed.
+        self._metrics_sent: dict[int, dict] = \
+            {z.rank: {} for z in self.zones}
+        self._advance_ns = 0
 
     # -- protocol handlers -------------------------------------------------
 
@@ -170,8 +180,27 @@ class ShardWorkerHost:
             # masquerade as an organic subscription next barrier.
             self._order_reported[src_rank] = src.ctx.bus._order
 
+    def metrics_report(self) -> dict[int, dict]:
+        """Per-zone metric deltas since the last report (rank-keyed).
+
+        Rides every reply that closes an epoch (flushed/sync/final) so
+        the coordinator's per-zone replica payloads stay current; deltas
+        are per-metric snapshots, so applying them is a dict update and
+        ordering across zones cannot matter — the coordinator still
+        applies them in (epoch, zone rank) order by construction."""
+        report: dict[int, dict] = {}
+        for zone in self.zones:
+            current = zone.ctx.metrics.to_payload()
+            delta = payload_delta(self._metrics_sent[zone.rank], current)
+            if delta:
+                report[zone.rank] = delta
+                self._metrics_sent[zone.rank] = current
+        return report
+
     def advance(self, t_next: float) -> None:
+        t0 = ShardProfiler.clock()
         self.sim.run(until=t_next)
+        self._advance_ns = ShardProfiler.clock() - t0
 
     def collect_remote(self) -> dict[tuple[int, int], list]:
         """Snapshot-and-clear outboxes destined for other workers. The
@@ -223,7 +252,8 @@ class ShardWorkerHost:
 
     def stats(self) -> dict[str, int]:
         return {"events": self.sim.processed_events,
-                "injected": self._injected}
+                "injected": self._injected,
+                "advance_ns": self._advance_ns}
 
     def finalize(self) -> dict[str, Any]:
         results: dict[str, Any] = {}
@@ -244,7 +274,8 @@ def worker_main(conn, spec: WorkerSpec) -> None:
     """
     try:
         host = ShardWorkerHost(spec)
-        conn.send(("ready", host.pattern_report()))
+        conn.send(("ready", host.pattern_report(),
+                   host.metrics_report()))
         while True:
             msg = conn.recv()
             cmd = msg[0]
@@ -258,12 +289,14 @@ def worker_main(conn, spec: WorkerSpec) -> None:
             elif cmd == "flush":
                 _, epoch, t_barrier, remote_in, record = msg
                 host.flush(epoch, t_barrier, remote_in, record)
-                conn.send(("flushed", host.pattern_report()))
+                conn.send(("flushed", host.pattern_report(),
+                           host.metrics_report(), host.stats()))
             elif cmd == "sync":
-                conn.send(("trace", host.drain_trace(), host.stats()))
+                conn.send(("trace", host.drain_trace(), host.stats(),
+                           host.metrics_report()))
             elif cmd == "finalize":
                 conn.send(("final", host.finalize(), host.drain_trace(),
-                           host.stats()))
+                           host.stats(), host.metrics_report()))
             elif cmd == "close":
                 return
             else:  # pragma: no cover - protocol guard

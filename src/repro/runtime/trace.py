@@ -14,7 +14,6 @@ from __future__ import annotations
 import dataclasses
 import json
 from collections import deque
-from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Any, Iterator
@@ -78,7 +77,6 @@ def _jsonify_slow(value: Any) -> Any:
     return f"<{type(value).__name__}>"
 
 
-@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One time-stamped, topic-tagged observation.
 
@@ -87,16 +85,39 @@ class TraceRecord:
     after the fact and break byte-identical replay — but serialization
     to JSON text stays lazy: :meth:`to_json` renders on demand, so
     recording costs no string formatting unless the trace is exported.
+
+    A plain ``__slots__`` class rather than a (frozen) dataclass: one
+    is constructed per bus publish and per finished span, and the
+    frozen-dataclass ``object.__setattr__`` init costs ~3x a direct
+    attribute store. Treat instances as immutable all the same.
     """
 
-    seq: int
-    time_s: float
-    topic: str
-    payload: Any
-    #: Span envelope ({trace_id, span_id, parent_id}) when the record
-    #: was made under an active causal span; None otherwise. Stored as
-    #: the span's prebuilt dict — already JSON-primitive, never mutated.
-    span: Any = None
+    __slots__ = ("seq", "time_s", "topic", "payload", "span")
+
+    def __init__(self, seq: int, time_s: float, topic: str,
+                 payload: Any = None, span: Any = None):
+        self.seq = seq
+        self.time_s = time_s
+        self.topic = topic
+        self.payload = payload
+        #: Span envelope ({trace_id, span_id, parent_id}) when the
+        #: record was made under an active causal span; None otherwise.
+        #: Stored as the span's prebuilt dict — already JSON-primitive,
+        #: never mutated.
+        self.span = span
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.seq == other.seq and self.time_s == other.time_s
+                and self.topic == other.topic
+                and self.payload == other.payload
+                and self.span == other.span)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceRecord(seq={self.seq}, time_s={self.time_s!r}, "
+                f"topic={self.topic!r}, payload={self.payload!r}, "
+                f"span={self.span!r})")
 
     def to_json(self) -> str:
         obj = {"seq": self.seq, "time_s": self.time_s, "topic": self.topic,
@@ -130,6 +151,21 @@ class TraceRecorder:
         """
         rec = TraceRecord(self._seq, float(time_s), topic,
                           jsonify(payload), span)
+        self._seq += 1
+        self._records.append(rec)
+        return rec
+
+    def record_raw(self, time_s: float, topic: str,  # perf: hot
+                   payload: Any = None, span: Any = None) -> TraceRecord:
+        """Append a record whose *payload* is already JSON-primitive.
+
+        Skips :func:`jsonify`: the caller guarantees the payload is
+        composed only of primitives and dicts/lists of primitives and
+        is never mutated afterwards, so exports are byte-identical to
+        the :meth:`record` path. Exists for per-message hot paths (the
+        cross-shard relay span) where the normalization walk costs more
+        than the append."""
+        rec = TraceRecord(self._seq, float(time_s), topic, payload, span)
         self._seq += 1
         self._records.append(rec)
         return rec

@@ -480,7 +480,7 @@ class TestWholeRepo:
     def test_every_contract_namespace_is_known(self):
         from repro.analysis.flow import NAMESPACES
         assert NAMESPACES == {"continuum", "kube", "mirto", "chaos",
-                              "monitor", "net", "shard"}
+                              "monitor", "net", "obs", "shard"}
 
     def test_contracts_for_monitor_topics(self):
         [contract] = contracts_for("monitor.metrics.application.app.x")
