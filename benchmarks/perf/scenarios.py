@@ -245,6 +245,7 @@ def _placement_scenario(strategy: str, n_ops: int):
     from repro.mirto.placement import (
         AcoPlacement,
         PlacementConstraints,
+        PlacementRequest,
         PsoPlacement,
     )
 
@@ -258,7 +259,9 @@ def _placement_scenario(strategy: str, n_ops: int):
 
     def run():
         for _ in range(n_ops):
-            placer.place(app, infra, constraints)
+            placer.solve(PlacementRequest(
+                application=app, infrastructure=infra,
+                constraints=constraints))
     return n_ops, run
 
 
@@ -286,12 +289,85 @@ def _kpi_estimate(quick: bool):
     infra = build_reference_infrastructure(ctx)
     app = _bench_application()
     constraints = PlacementConstraints(source_device="mc-00-0")
-    placement = GreedyPlacement().place(app, infra, constraints)
+    from repro.mirto.placement import PlacementRequest
+    placement = GreedyPlacement().solve(PlacementRequest(
+        application=app, infrastructure=infra,
+        constraints=constraints)).placement
 
     def run():
         for _ in range(n_ops):
             estimate_placement_kpis(app, placement, infra,
                                     source_device="mc-00-0")
+    return n_ops, run
+
+
+@scenario("placement.exact.small")
+def _exact_small(quick: bool):
+    """Branch-and-bound proving optimality on a 5-task instance.
+
+    One op = one full exact solve (tree exhausted, optimal proven);
+    ns/op tracks bounding + incremental-schedule cost.
+    """
+    from repro.continuum import build_reference_infrastructure
+    from repro.mirto.exact import ExactPlacement
+    from repro.mirto.placement import (
+        PlacementConstraints,
+        PlacementRequest,
+    )
+
+    n_ops = 2 if quick else 6
+    ctx = RuntimeContext(seed=9)
+    infra = build_reference_infrastructure(ctx)
+    app = Application("bench-exact")
+    for i in range(5):
+        app.add_task(Task(name=f"t{i}", megaops=200.0 + 150.0 * i,
+                          input_bytes=100_000, output_bytes=50_000,
+                          memory_bytes=16 * 2**20))
+    app.connect("t0", "t1", 80_000)
+    app.connect("t0", "t2", 60_000)
+    app.connect("t1", "t3", 70_000)
+    app.connect("t2", "t3", 50_000)
+    app.connect("t3", "t4", 90_000)
+    constraints = PlacementConstraints(source_device="mc-00-0")
+    placer = ExactPlacement()
+
+    def run():
+        for _ in range(n_ops):
+            result = placer.solve(PlacementRequest(
+                application=app, infrastructure=infra,
+                constraints=constraints))
+            assert result.optimal
+    return n_ops, run
+
+
+@scenario("placement.portfolio.deadline")
+def _portfolio_deadline(quick: bool):
+    """Deadline-raced portfolio on the 8-task DAG under a 50ms budget.
+
+    One op = one raced solve across all four lanes; ns/op tracks the
+    cooperative-stepping overhead on top of the individual backends.
+    """
+    from repro.continuum import build_reference_infrastructure
+    from repro.mirto.placement import (
+        PlacementConstraints,
+        PlacementRequest,
+        SolveBudget,
+    )
+    from repro.mirto.portfolio import PortfolioPlacement
+
+    n_ops = 1 if quick else 3
+    ctx = RuntimeContext(seed=9)
+    infra = build_reference_infrastructure(ctx)
+    app = _bench_application()
+    constraints = PlacementConstraints(source_device="mc-00-0")
+    placer = PortfolioPlacement(seed=7, iterations=8)
+
+    def run():
+        for _ in range(n_ops):
+            placer.solve(PlacementRequest(
+                application=app, infrastructure=infra,
+                constraints=constraints,
+                budget=SolveBudget(deadline_s=0.050)))
     return n_ops, run
 
 

@@ -19,6 +19,7 @@ from repro.continuum.workload import KernelClass
 from repro.dpe import ComponentModel, ScenarioModel
 from repro.mirto.placement import (
     PlacementConstraints,
+    PlacementRequest,
     estimate_placement_kpis,
     make_strategy,
 )
@@ -49,8 +50,10 @@ def scenario():
 
 def fitness_of_rule(rule, app, constraints):
     infrastructure = build_reference_infrastructure(Simulator())
-    placement = RuleBasedPlacement(rule, random.Random(0)).place(
-        app, infrastructure, constraints)
+    placement = RuleBasedPlacement(rule, random.Random(0)).solve(
+        PlacementRequest(application=app,
+                         infrastructure=infrastructure,
+                         constraints=constraints)).placement
     latency, energy = estimate_placement_kpis(app, placement,
                                               infrastructure)
     return latency + 0.05 * energy
@@ -76,8 +79,10 @@ def test_evolved_rule_on_the_strategy_spectrum(benchmark):
         }
         for name in ("random", "greedy"):
             infrastructure = build_reference_infrastructure(Simulator())
-            placement = make_strategy(name, random.Random(1)).place(
-                app, infrastructure, constraints)
+            placement = make_strategy(name, random.Random(1)).solve(
+                PlacementRequest(application=app,
+                                 infrastructure=infrastructure,
+                                 constraints=constraints)).placement
             latency, energy = estimate_placement_kpis(
                 app, placement, infrastructure)
             scores[name] = latency + 0.05 * energy

@@ -17,6 +17,7 @@ from repro.continuum.faults import FaultInjector
 from repro.core.errors import CapacityError
 from repro.mirto.placement import (
     PlacementConstraints,
+    PlacementRequest,
     execute_placement,
     make_strategy,
 )
@@ -47,8 +48,11 @@ def run_campaign(failure_aware: bool, sessions: int = 12, seed: int = 9):
         for attempt in range(retries + 1):
             try:
                 if failure_aware or fixed_placement is None:
-                    placement = make_strategy("greedy").place(
-                        app, infrastructure, constraints)
+                    placement = make_strategy("greedy").solve(
+                        PlacementRequest(
+                            application=app,
+                            infrastructure=infrastructure,
+                            constraints=constraints)).placement
                     if fixed_placement is None:
                         fixed_placement = placement
                 use = placement if failure_aware else fixed_placement

@@ -28,6 +28,7 @@ from repro.continuum.workload import (
 )
 from repro.mirto.placement import (
     PlacementConstraints,
+    PlacementRequest,
     execute_placement,
     make_strategy,
 )
@@ -72,9 +73,10 @@ def run_mixed_workload(apps: int = 20, seed: int = 2):
         DeviceKind.EDGE_MULTICORE)[0].name
     for i in range(apps):
         app = mixed_application(i, rng)
-        placement = strategy.place(app, infrastructure,
-                                   PlacementConstraints(
-                                       source_device=source))
+        placement = strategy.solve(PlacementRequest(
+            application=app, infrastructure=infrastructure,
+            constraints=PlacementConstraints(
+                source_device=source))).placement
         execute_placement(app, placement, infrastructure,
                           source_device=source)
     return infrastructure

@@ -98,6 +98,12 @@ TOPIC_CONTRACTS: tuple[TopicContract, ...] = (
     _c("mirto.continuous.migrated",
        required="application period assignment predicted_gain",
        description="continuous orchestration migrated a task set"),
+    _c("mirto.placement.solve",
+       required="service strategy cost optimal lower_bound provenance "
+                "evaluations",
+       description="anytime placement solve finished (deploy or Plan)"),
+    _c("mirto.placement.incumbent", required="backend cost",
+       description="a portfolio lane improved the shared incumbent"),
     # -- chaos campaigns + resilience policies ------------------------------
     _c("chaos.campaign.begin", required="campaign actions time_s",
        consumed="bus",

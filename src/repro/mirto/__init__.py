@@ -22,18 +22,28 @@ from repro.mirto.distributed import (
 )
 from repro.mirto.placement import (
     ExecutionReport,
+    FireflyPlacement,
     GreedyPlacement,
     Placement,
     PlacementConstraints,
+    PlacementRequest,
+    PlacementResult,
+    PlacementStrategy,
     PsoPlacement,
     AcoPlacement,
     RandomPlacement,
     RoundRobinPlacement,
+    SolveBudget,
+    SolveSession,
+    SolveStats,
     eligible_devices,
     estimate_placement_kpis,
     execute_placement,
     make_strategy,
+    placement_cost,
 )
+from repro.mirto.exact import ExactPlacement
+from repro.mirto.portfolio import PortfolioPlacement
 from repro.mirto.learning import (
     FederatedClient,
     FederatedTrainer,
@@ -79,10 +89,13 @@ __all__ = [
     "AntColonyOptimizer", "FireflyOptimizer", "OptimizationTrace",
     "ParticleSwarmOptimizer", "DistributedLoadBalancer",
     "GossipConsensus",
-    "ExecutionReport", "GreedyPlacement", "Placement",
-    "PlacementConstraints", "PsoPlacement", "AcoPlacement",
-    "RandomPlacement", "RoundRobinPlacement", "eligible_devices",
+    "ExecutionReport", "FireflyPlacement", "GreedyPlacement",
+    "Placement", "PlacementConstraints", "PlacementRequest",
+    "PlacementResult", "PlacementStrategy", "PsoPlacement",
+    "AcoPlacement", "RandomPlacement", "RoundRobinPlacement",
+    "SolveBudget", "SolveSession", "SolveStats", "eligible_devices",
     "estimate_placement_kpis", "execute_placement", "make_strategy",
+    "placement_cost", "ExactPlacement", "PortfolioPlacement",
     "FederatedClient", "FederatedTrainer", "LinearModel",
     "QLearningAgent", "make_operating_point_dataset",
     "DeploymentOutcome", "MirtoManager", "NetworkManager", "NodeManager",

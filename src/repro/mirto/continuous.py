@@ -23,6 +23,7 @@ from repro.mirto.placement import (
     ExecutionReport,
     Placement,
     PlacementConstraints,
+    PlacementRequest,
     estimate_placement_kpis,
     execute_placement,
     make_strategy,
@@ -70,15 +71,19 @@ class ContinuousDeployment:
         self.rng = rng or self.ctx.rng.python("mirto.continuous")
         self.history: list[PeriodRecord] = []
         initial = make_strategy(self.policy.replan_strategy, self.rng)
-        self.placement = initial.place(application, infrastructure,
-                                       self.constraints)
+        self.placement = initial.solve(PlacementRequest(
+            application=application, infrastructure=infrastructure,
+            constraints=self.constraints)).placement
         self.migrations = 0
 
     def _candidate(self) -> Placement:
         """Re-optimize against the current infrastructure state."""
         strategy = make_strategy(self.policy.replan_strategy, self.rng)
-        return strategy.place(self.application, self.infrastructure,
-                              self.constraints)
+        request = PlacementRequest(
+            application=self.application,
+            infrastructure=self.infrastructure,
+            constraints=self.constraints)
+        return strategy.solve(request).placement
 
     def run_period(self) -> PeriodRecord:
         """Execute one period, then consider migrating for the next."""

@@ -22,6 +22,7 @@ from repro.kb.store import KnowledgeBase
 from repro.mirto.agent import ApiRequest, ApiResponse, MirtoAgent
 from repro.mirto.manager import MirtoManager
 from repro.mirto.mape import MapeLoop
+from repro.mirto.placement import SolveBudget, make_strategy
 from repro.tosca.parser import dump_service_template
 from repro.tosca.model import ServiceTemplate
 
@@ -35,6 +36,12 @@ class EngineConfig:
     cloud_servers: int = 2
     kb_replicas: int = 3
     default_strategy: str = "greedy"
+    #: Anytime solver MAPE's Plan stage races for replanning advice
+    #: after faults ("portfolio" by default; None disables replanning).
+    plan_strategy: str | None = "portfolio"
+    #: DES-clock deadline for each Plan-stage solve (50ms-equivalent
+    #: would be a deploy-time budget; Plan runs on the loop cadence).
+    plan_deadline_s: float = 0.010
     seed: int = 0
 
 
@@ -82,8 +89,16 @@ class CognitiveEngine:
         for i, a in enumerate(agents):
             for b in agents[i + 1:]:
                 a.peer_with(b)
-        self.mape = MapeLoop(self.infrastructure, self.registry,
-                             self.manager)
+        planner = None
+        if self.config.plan_strategy is not None:
+            planner = make_strategy(
+                self.config.plan_strategy,
+                self.ctx.rng.python("mirto.mape.plan"))
+        self.mape = MapeLoop(
+            self.infrastructure, self.registry, self.manager,
+            planner=planner,
+            plan_budget=SolveBudget(
+                deadline_s=self.config.plan_deadline_s))
 
     def _register_components(self) -> None:
         for device in self.infrastructure.devices.values():

@@ -33,6 +33,7 @@ from repro.mirto.placement import (
     ExecutionReport,
     Placement,
     PlacementConstraints,
+    PlacementRequest,
     execute_placement,
     make_strategy,
 )
@@ -262,6 +263,9 @@ class WorkloadManager:
         self.default_strategy = default_strategy
         self.rng = rng or infrastructure.ctx.rng.python("mirto.workload")
         self.deployments: list[DeploymentOutcome] = []
+        #: Deployed service templates by name — what MAPE's Plan phase
+        #: replans against when triggers fire.
+        self.services: dict[str, ServiceTemplate] = {}
 
     def _apply_reallocation_advice(self,
                                    constraints: PlacementConstraints
@@ -285,6 +289,19 @@ class WorkloadManager:
         device (sensors live at the edge in both use cases)."""
         edge = self.infrastructure.layer_devices(Layer.EDGE)
         return edge[0].name if edge else None
+
+    def _placement_advice(self, service_name: str) -> Placement | None:
+        """MAPE's last suggest-placement advice, as a warm start."""
+        if self.registry is None:
+            return None
+        key = f"status/placement-advice/{service_name}"
+        value = self.registry.kb.range(key).get(key)
+        if not value:
+            return None
+        assignment = value.get("assignment")
+        if not isinstance(assignment, dict):
+            return None
+        return Placement(dict(assignment), "advice")
 
     def deploy(self, service: ServiceTemplate,
                strategy: str | None = None) -> DeploymentOutcome:
@@ -317,11 +334,33 @@ class WorkloadManager:
                     device.operating_point.name != "balanced":
                 device.set_operating_point("balanced")
         placer = make_strategy(strategy or self.default_strategy, self.rng)
+        request = PlacementRequest(
+            application=app, infrastructure=self.infrastructure,
+            constraints=constraints,
+            warm_start=self._placement_advice(service.name))
         with self.infrastructure.ctx.tracer.start_span(
                 "mirto.placement.solve", layer="mirto",
                 strategy=strategy or self.default_strategy,
-                tasks=len(app)):
-            placement = placer.place(app, self.infrastructure, constraints)
+                tasks=len(app)) as span:
+            result = placer.solve(request)
+            placement = result.placement
+            attrs = getattr(span, "attrs", None)
+            if attrs is not None:
+                attrs["cost"] = result.cost
+                attrs["optimal"] = result.optimal
+                attrs["provenance"] = result.provenance
+                attrs["backends"] = {s.backend: s.evaluations
+                                     for s in result.stats}
+        self.infrastructure.ctx.publish("mirto.placement.solve", {
+            "service": service.name,
+            "strategy": placement.strategy,
+            "cost": result.cost,
+            "optimal": result.optimal,
+            "lower_bound": result.lower_bound,
+            "provenance": result.provenance,
+            "evaluations": sum(s.evaluations for s in result.stats),
+        })
+        self.services[service.name] = service
         level = self.security.required_level(service)
         # Node Manager: configure the chosen devices. Each task gets a
         # share of the end-to-end budget proportional to its weight on

@@ -11,11 +11,19 @@ accounting for the Fig. 3 benchmark.
 
 from __future__ import annotations
 
+import json
+
 from dataclasses import dataclass, field
 
+from repro.core.errors import OrchestrationError
 from repro.continuum.infrastructure import Infrastructure
 from repro.kb.registry import ResourceRegistry
-from repro.mirto.manager import MirtoManager
+from repro.mirto.manager import MirtoManager, service_to_application
+from repro.mirto.placement import (
+    PlacementRequest,
+    PlacementStrategy,
+    SolveBudget,
+)
 from repro.monitoring.monitors import InfrastructureMonitor
 from repro.runtime import RuntimeContext
 
@@ -35,7 +43,8 @@ class Trigger:
 class PlannedAction:
     """A decision the Plan stage produced."""
 
-    kind: str  # "set-operating-point" | "flag-reallocation"
+    # "set-operating-point" | "flag-reallocation" | "suggest-placement"
+    kind: str
     component: str
     parameter: str
 
@@ -73,10 +82,19 @@ class MapeLoop:
                  overload_threshold: float = 0.85,
                  underload_threshold: float = 0.15,
                  trust_threshold: float = 0.3,
-                 ctx: RuntimeContext | None = None):
+                 ctx: RuntimeContext | None = None,
+                 planner: PlacementStrategy | None = None,
+                 plan_budget: SolveBudget | None = None):
         self.infrastructure = infrastructure
         self.registry = registry
         self.manager = manager
+        #: Anytime solver the Plan stage races for replanning advice
+        #: when a fault trigger fires (None disables replanning).
+        self.planner = planner
+        #: Budget per replanning solve — tight by design: Plan shares
+        #: the control loop's cadence, so advice must come from an
+        #: anytime incumbent, not an exhaustive search.
+        self.plan_budget = plan_budget or SolveBudget(deadline_s=0.010)
         self.ctx = ctx or infrastructure.ctx
         self.monitor = InfrastructureMonitor("mape", ctx=self.ctx)
         self.overload_threshold = overload_threshold
@@ -249,6 +267,68 @@ class MapeLoop:
             elif trigger.kind in ("trust-drop", "fault"):
                 actions.append(PlannedAction(
                     "flag-reallocation", trigger.component, "avoid"))
+        if self.planner is not None \
+                and any(t.kind == "fault" for t in triggers):
+            actions.extend(self._replan())
+        return actions
+
+    def _replan(self) -> list[PlannedAction]:
+        """Race the anytime solver for fresh placement advice.
+
+        A fault invalidated assumptions behind the current placements,
+        so Plan re-solves every deployed service under a tight budget
+        and suggests the incumbent; Execute writes it into the KB,
+        where the next deploy of that service picks it up as a
+        warm start. Each solve runs in its own
+        ``mirto.placement.solve`` span with per-backend metrics.
+        """
+        workload = self.manager.workload
+        tracer = self.ctx.tracer
+        actions = []
+        for service_name in sorted(workload.services):
+            service = workload.services[service_name]
+            app = service_to_application(service)
+            constraints = self.manager.security.constraints_for(service)
+            constraints.source_device = workload._data_source()
+            outcome = next(
+                (d for d in reversed(workload.deployments)
+                 if d.service_name == service_name), None)
+            request = PlacementRequest(
+                application=app, infrastructure=self.infrastructure,
+                constraints=constraints, budget=self.plan_budget,
+                warm_start=outcome.placement if outcome else None)
+            with tracer.start_span(
+                    "mirto.placement.solve", layer="mirto",
+                    strategy=self.planner.name,
+                    tasks=len(app)) as span:
+                try:
+                    result = self.planner.solve(request)
+                except OrchestrationError:
+                    # The fault may have left a task with no eligible
+                    # device; nothing to suggest until repair.
+                    continue
+                attrs = getattr(span, "attrs", None)
+                if attrs is not None:
+                    attrs["cost"] = result.cost
+                    attrs["optimal"] = result.optimal
+                    attrs["provenance"] = result.provenance
+                    attrs["backends"] = {s.backend: s.evaluations
+                                         for s in result.stats}
+            self.ctx.publish("mirto.placement.solve", {
+                "service": service_name,
+                "strategy": self.planner.name,
+                "cost": result.cost,
+                "optimal": result.optimal,
+                "lower_bound": result.lower_bound,
+                "provenance": result.provenance,
+                "evaluations": sum(s.evaluations
+                                   for s in result.stats),
+            })
+            actions.append(PlannedAction(
+                "suggest-placement", service_name,
+                json.dumps(dict(sorted(
+                    result.placement.assignment.items())),
+                    sort_keys=True, separators=(",", ":"))))
         return actions
 
     def execute(self, actions: list[PlannedAction]) -> int:
@@ -273,6 +353,11 @@ class MapeLoop:
                 self.registry.update_status(
                     f"reallocation/{action.component}",
                     {"advice": action.parameter})
+                executed += 1
+            elif action.kind == "suggest-placement":
+                self.registry.update_status(
+                    f"placement-advice/{action.component}",
+                    {"assignment": json.loads(action.parameter)})
                 executed += 1
         return executed
 

@@ -1,22 +1,37 @@
 """Workload placement: the decision problem the MIRTO WL Manager solves.
 
 Given an application DAG, the infrastructure, and the constraints the
-TOSCA policies impose (privacy layer ceilings, security floors, memory),
-choose a device for every task. Implements the baselines the paper's
-cognitive claims are measured against (random, round-robin, greedy) and
-the cognitive strategies (PSO and ACO over the constrained assignment
-space). :func:`execute_placement` then actually runs the placed
-application in the discrete-event simulator and reports measured KPIs —
-so strategy comparisons in the benchmarks are simulation-backed, not
-analytic-only.
+TOSCA policies impose (privacy layer ceilings, security floors, memory,
+latency SLOs), choose a device for every task. Implements the baselines
+the paper's cognitive claims are measured against (random, round-robin,
+greedy) and the cognitive strategies (PSO, ACO, firefly over the
+constrained assignment space). :func:`execute_placement` then actually
+runs the placed application in the discrete-event simulator and reports
+measured KPIs — so strategy comparisons in the benchmarks are
+simulation-backed, not analytic-only.
+
+Solvers implement an *anytime* contract: callers build a
+:class:`PlacementRequest` (problem + deterministic work budget + warm
+start) and get a :class:`PlacementResult` (best placement, cost, lower
+bound, optimality flag, per-backend :class:`SolveStats`) from
+:meth:`PlacementStrategy.solve`. Budgets live on the DES clock — a
+deadline converts to a node allowance via the modeled per-node cost —
+so identical seeds and budgets produce byte-identical results on any
+machine. ``place()`` survives as a deprecated shim over ``solve()``.
+The exact branch-and-bound backend lives in :mod:`repro.mirto.exact`
+and the deadline-raced portfolio in :mod:`repro.mirto.portfolio`.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import random
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.core.errors import OrchestrationError
+from repro.core.errors import ConfigurationError, OrchestrationError
 from repro.continuum.devices import Device, Layer
 from repro.continuum.infrastructure import Infrastructure
 from repro.continuum.workload import Application, PrivacyClass, Task
@@ -55,6 +70,7 @@ def eligible_devices(task: Task, infrastructure: Infrastructure,
     need_security = max(
         _SECURITY_RANK[constraints.min_security_level],
         _SECURITY_RANK.get(task.requirements.min_security_level, 0))
+    latency_budget = task.requirements.latency_budget_s
     result = []
     for device in infrastructure.devices.values():
         if getattr(device, "failed", False):
@@ -68,6 +84,18 @@ def eligible_devices(task: Task, infrastructure: Infrastructure,
         trust = constraints.trusted.get(device.name, 1.0)
         if trust < constraints.trust_threshold:
             continue
+        if latency_budget != math.inf:
+            # Latency-SLO feasibility: a device that cannot run the
+            # task within its budget even at its fastest operating
+            # point can never satisfy the SLO, whatever the schedule
+            # around it does. Judged at peak (not the active point) so
+            # MAPE keeping a device in low-power mode doesn't shrink
+            # the feasible set the optimizers search.
+            fastest = max(device.operating_points.values(),
+                          key=lambda op: op.perf_scale)
+            if device.estimate_duration(task, fastest.name) \
+                    > latency_budget:
+                continue
         result.append(device)
     return result
 
@@ -228,14 +256,387 @@ def estimate_placement_kpis(application: Application,  # perf: hot
     return makespan, energy
 
 
+#: Objective weight on energy shared by every solver backend; the
+#: complement weights latency. Kept in one place so exact bounds and
+#: metaheuristic scores stay comparable to the last bit.
+_DEFAULT_ENERGY_WEIGHT = 0.3
+
+
+def placement_cost(application: Application,
+                   infrastructure: Infrastructure,
+                   assignment: dict[str, str], *,
+                   strategy: str = "candidate",
+                   source_device: str | None = None,
+                   cache: PlacementCostCache | None = None,
+                   energy_weight: float = _DEFAULT_ENERGY_WEIGHT
+                   ) -> float:
+    """Scalar objective every solver minimizes.
+
+    ``latency * (1 - w) + w * energy / 100`` over the analytic KPI
+    model — the single definition all backends (baselines, swarms, the
+    exact branch-and-bound, the portfolio) share, so their reported
+    costs are directly comparable bit for bit.
+    """
+    latency, energy = estimate_placement_kpis(
+        application, Placement(dict(assignment), strategy),
+        infrastructure, source_device, cache)
+    return latency * (1 - energy_weight) + energy_weight * energy / 100.0
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Deterministic work budget for one anytime solve.
+
+    Budgets are expressed on the DES clock, never the wall clock: a
+    ``deadline_s`` (modeled seconds) converts to a node allowance
+    through ``node_cost_s``, the modeled cost of one search node /
+    objective evaluation. The default budget is unlimited — solvers
+    run to their natural termination (configured iterations, or an
+    exhausted search tree).
+    """
+
+    max_nodes: int | None = None
+    deadline_s: float | None = None
+    node_cost_s: float = 25e-6
+
+    def __post_init__(self):
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ConfigurationError("max_nodes must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError("deadline_s must be > 0")
+        if self.node_cost_s <= 0:
+            raise ConfigurationError("node_cost_s must be > 0")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_nodes is None and self.deadline_s is None
+
+    def node_limit(self) -> int | None:
+        """The budget as a node count (``None`` when unlimited)."""
+        limits = []
+        if self.max_nodes is not None:
+            limits.append(self.max_nodes)
+        if self.deadline_s is not None:
+            limits.append(max(1, int(self.deadline_s / self.node_cost_s)))
+        return min(limits) if limits else None
+
+
+@dataclass
+class PlacementRequest:
+    """One placement problem handed to an anytime solver."""
+
+    application: Application
+    infrastructure: Infrastructure
+    constraints: PlacementConstraints = field(
+        default_factory=PlacementConstraints)
+    budget: SolveBudget = field(default_factory=SolveBudget)
+    #: Optional incumbent to start from (e.g. the currently deployed
+    #: placement, or MAPE's last advice). Ignored when it no longer
+    #: covers the application or names failed/unknown devices.
+    warm_start: Placement | None = None
+    #: Called as ``on_incumbent(placement, cost, backend)`` every time
+    #: a solver improves its best-so-far; lets callers stop early.
+    on_incumbent: Callable[[Placement, float, str], None] | None = None
+
+
+@dataclass
+class SolveStats:
+    """Per-backend accounting for one solve."""
+
+    backend: str
+    nodes: int = 0         # budget units charged (search nodes)
+    evaluations: int = 0   # full objective evaluations (memo misses)
+    steps: int = 0         # cooperative step() slices executed
+    incumbents: int = 0    # times the backend improved its best
+    pruned: int = 0        # subtrees cut by the bound (exact only)
+    best_cost: float = math.inf
+    lower_bound: float = 0.0
+    proven_optimal: bool = False
+
+    def to_payload(self) -> dict:
+        return {
+            "backend": self.backend,
+            "nodes": self.nodes,
+            "evaluations": self.evaluations,
+            "steps": self.steps,
+            "incumbents": self.incumbents,
+            "pruned": self.pruned,
+            "best_cost": self.best_cost,
+            "lower_bound": self.lower_bound,
+            "proven_optimal": self.proven_optimal,
+        }
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of one anytime solve."""
+
+    placement: Placement
+    cost: float
+    optimal: bool
+    lower_bound: float
+    #: Which backend produced the returned placement ("exact", "pso",
+    #: "warm-start", ... — meaningful for the portfolio).
+    provenance: str
+    stats: tuple[SolveStats, ...] = ()
+
+    def to_payload(self) -> dict:
+        """JSON-safe snapshot (stable key order for byte-identity)."""
+        return {
+            "assignment": dict(sorted(self.placement.assignment.items())),
+            "strategy": self.placement.strategy,
+            "cost": self.cost,
+            "optimal": self.optimal,
+            "lower_bound": self.lower_bound,
+            "provenance": self.provenance,
+            "stats": [s.to_payload() for s in self.stats],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+class SolveSession:
+    """One in-progress anytime solve (cooperative stepping).
+
+    ``step()`` advances one bounded slice of work and returns ``True``
+    while more work remains within budget; ``result()`` snapshots the
+    best incumbent found so far and is valid at any point (it
+    self-starts if no step ran yet). The portfolio round-robins
+    ``step()`` across backends — no threads, so interleaving is
+    deterministic.
+    """
+
+    def step(self) -> bool:
+        raise NotImplementedError
+
+    def result(self) -> PlacementResult:
+        raise NotImplementedError
+
+
+def _warm_incumbent(request: PlacementRequest, energy_weight: float,
+                    cache: PlacementCostCache | None = None
+                    ) -> tuple[Placement, float] | None:
+    """Validate and cost the request's warm start (None if unusable)."""
+    warm = request.warm_start
+    if warm is None:
+        return None
+    devices = request.infrastructure.devices
+    assignment = {}
+    for task in request.application.tasks:
+        device = warm.assignment.get(task.name)
+        if device is None or device not in devices \
+                or getattr(devices[device], "failed", False):
+            return None
+        assignment[task.name] = device
+    cost = placement_cost(
+        request.application, request.infrastructure, assignment,
+        strategy=warm.strategy,
+        source_device=request.constraints.source_device,
+        cache=cache, energy_weight=energy_weight)
+    return Placement(assignment, warm.strategy), cost
+
+
+class _OneShotSession(SolveSession):
+    """Adapter running a one-shot heuristic under the anytime contract.
+
+    The heuristic's single ``_place()`` pass is one indivisible step;
+    budgets below one evaluation still get a complete answer (an
+    anytime solver never returns without an incumbent).
+    """
+
+    def __init__(self, strategy: "PlacementStrategy",
+                 request: PlacementRequest):
+        self._strategy = strategy
+        self._request = request
+        self._stats = SolveStats(backend=strategy.name)
+        self._best: tuple[Placement, float] | None = None
+
+    def step(self) -> bool:
+        if self._best is not None:
+            return False
+        strategy, request = self._strategy, self._request
+        weight = getattr(strategy, "energy_weight",
+                         _DEFAULT_ENERGY_WEIGHT)
+        placement = strategy._place(request.application,
+                                    request.infrastructure,
+                                    request.constraints)
+        cost = placement_cost(
+            request.application, request.infrastructure,
+            placement.assignment, strategy=placement.strategy,
+            source_device=request.constraints.source_device,
+            energy_weight=weight)
+        stats = self._stats
+        stats.nodes += 1
+        stats.evaluations += 1
+        stats.steps += 1
+        warm = _warm_incumbent(request, weight)
+        if warm is not None and warm[1] < cost:
+            placement, cost = warm
+        self._best = (placement, cost)
+        stats.best_cost = cost
+        stats.incumbents = 1
+        if request.on_incumbent is not None:
+            request.on_incumbent(placement, cost, strategy.name)
+        return False
+
+    def result(self) -> PlacementResult:
+        if self._best is None:
+            self.step()
+        placement, cost = self._best
+        return PlacementResult(
+            placement=placement, cost=cost, optimal=False,
+            lower_bound=0.0, provenance=self._strategy.name,
+            stats=(self._stats,))
+
+
+def _decode_relaxed(position: list[float],
+                    options: list[list[Device]]) -> list[int]:
+    """Argmax per per-task score block of a relaxed position vector.
+
+    ``index(max(...))`` picks the first maximum, exactly like the
+    argmax over range() it replaces — just without a lambda call per
+    element.
+    """
+    choices = []
+    offset = 0
+    for opts in options:
+        end = offset + len(opts)
+        scores = position[offset:end]
+        choices.append(scores.index(max(scores)))
+        offset = end
+    return choices
+
+
+class _SwarmSession(SolveSession):
+    """Anytime adapter over the population optimizers' ``steps()``.
+
+    Budget granularity is one optimizer iteration: the node meter is
+    checked between iterations, never inside one, so a solve under a
+    given budget is a strict prefix of the unbudgeted solve — same RNG
+    draws, same incumbents, just cut short. An unlimited budget runs
+    exactly the strategy's configured ``iterations``, which is what the
+    deprecated ``place()`` shim relies on for bit-compatibility.
+    """
+
+    def __init__(self, strategy: "_CognitiveBase",
+                 request: PlacementRequest):
+        self._strategy = strategy
+        self._request = request
+        self._stats = SolveStats(backend=strategy.name)
+        self._limit = request.budget.node_limit()
+        self._iterations_left = strategy.iterations
+        self._gen = None
+        self._decode = None
+        self._best: tuple[Placement, float] | None = None
+
+    def _count_eval(self) -> None:
+        self._stats.evaluations += 1
+        self._stats.nodes += 1
+
+    def _offer(self, placement: Placement, cost: float) -> None:
+        if self._best is None or cost < self._best[1]:
+            self._best = (placement, cost)
+            self._stats.incumbents += 1
+            self._stats.best_cost = cost
+            callback = self._request.on_incumbent
+            if callback is not None:
+                callback(placement, cost, self._strategy.name)
+
+    def _record(self, encoded, value: float) -> None:
+        if encoded is None:
+            return
+        if self._best is not None and value >= self._best[1]:
+            return
+        self._offer(Placement(self._decode(encoded),
+                              self._strategy.name), value)
+
+    @property
+    def _exhausted(self) -> bool:
+        return self._limit is not None \
+            and self._stats.nodes >= self._limit
+
+    def _start(self) -> None:
+        strategy, request = self._strategy, self._request
+        optimizer, objective, decode = strategy._build(
+            request, self._count_eval)
+        self._decode = decode
+        warm = _warm_incumbent(request, strategy.energy_weight,
+                               strategy._cache_for(request.infrastructure))
+        if warm is not None:
+            self._offer(*warm)
+        self._gen = optimizer.steps(objective)
+        self._record(*next(self._gen))  # init population
+
+    def step(self) -> bool:
+        if self._gen is None:
+            self._start()
+            self._stats.steps += 1
+        elif self._exhausted or self._iterations_left <= 0:
+            return False
+        else:
+            self._record(*next(self._gen))
+            self._iterations_left -= 1
+            self._stats.steps += 1
+        return not self._exhausted and self._iterations_left > 0
+
+    def result(self) -> PlacementResult:
+        if self._gen is None:
+            self._start()
+            self._stats.steps += 1
+        if self._best is None:
+            # An anytime solver must hold an incumbent, but ACO's init
+            # yield carries no evaluated point: force one iteration
+            # even past the budget (the swarm analogue of the exact
+            # lane's first-dive guarantee).
+            self._record(*next(self._gen))
+            self._iterations_left -= 1
+            self._stats.steps += 1
+        placement, cost = self._best
+        return PlacementResult(
+            placement=placement, cost=cost, optimal=False,
+            lower_bound=0.0, provenance=self._strategy.name,
+            stats=(self._stats,))
+
+
 class PlacementStrategy:
-    """Base class; subclasses implement :meth:`place`."""
+    """Base class: anytime solvers implementing :meth:`solve`.
+
+    Subclasses either override :meth:`session` (stepping backends:
+    swarms, exact, portfolio) or :meth:`_place` (one-shot heuristics,
+    adapted by :class:`_OneShotSession`). :meth:`place` survives as a
+    deprecated shim over :meth:`solve` with identical behavior.
+    """
 
     name = "abstract"
+
+    def session(self, request: PlacementRequest) -> SolveSession:
+        """Start an anytime solve; callers drive ``step()``."""
+        return _OneShotSession(self, request)
+
+    def solve(self, request: PlacementRequest) -> PlacementResult:
+        """Run the solve to budget exhaustion or completion."""
+        session = self.session(request)
+        while session.step():
+            pass
+        return session.result()
 
     def place(self, application: Application,
               infrastructure: Infrastructure,
               constraints: PlacementConstraints) -> Placement:
+        """Deprecated pre-anytime entry point (shim over solve())."""
+        warnings.warn(
+            "PlacementStrategy.place() is deprecated; build a "
+            "PlacementRequest and call solve() instead",
+            DeprecationWarning, stacklevel=2)
+        request = PlacementRequest(application, infrastructure,
+                                   constraints)
+        return self.solve(request).placement
+
+    def _place(self, application: Application,
+               infrastructure: Infrastructure,
+               constraints: PlacementConstraints) -> Placement:
         raise NotImplementedError
 
     def _eligible_or_raise(self, task: Task,
@@ -259,7 +660,7 @@ class RandomPlacement(PlacementStrategy):
     def __init__(self, rng: random.Random):
         self.rng = rng
 
-    def place(self, application, infrastructure, constraints) -> Placement:
+    def _place(self, application, infrastructure, constraints) -> Placement:
         assignment = {}
         for task in application.tasks:
             devices = self._eligible_or_raise(task, infrastructure,
@@ -276,7 +677,7 @@ class RoundRobinPlacement(PlacementStrategy):
     def __init__(self):
         self._cursor = 0
 
-    def place(self, application, infrastructure, constraints) -> Placement:
+    def _place(self, application, infrastructure, constraints) -> Placement:
         assignment = {}
         for task in application.tasks:
             devices = self._eligible_or_raise(task, infrastructure,
@@ -292,7 +693,7 @@ class GreedyPlacement(PlacementStrategy):
 
     name = "greedy"
 
-    def place(self, application, infrastructure, constraints) -> Placement:
+    def _place(self, application, infrastructure, constraints) -> Placement:
         assignment: dict[str, str] = {}
         device_free: dict[str, float] = {
             name: dev.backlog_seconds()
@@ -335,12 +736,29 @@ class GreedyPlacement(PlacementStrategy):
 class _CognitiveBase(PlacementStrategy):
     """Shared machinery for optimizer-backed strategies."""
 
-    def __init__(self, rng: random.Random, energy_weight: float = 0.3,
+    def __init__(self, rng: random.Random,
+                 energy_weight: float = _DEFAULT_ENERGY_WEIGHT,
                  iterations: int = 30):
         self.rng = rng
         self.energy_weight = energy_weight
         self.iterations = iterations
         self._cost_cache: PlacementCostCache | None = None
+
+    def session(self, request: PlacementRequest) -> SolveSession:
+        return _SwarmSession(self, request)
+
+    def _build(self, request: PlacementRequest,
+               on_evaluate: Callable[[], None]):
+        """(optimizer, objective, decode) for one anytime solve."""
+        raise NotImplementedError
+
+    def _options_for(self, request: PlacementRequest
+                     ) -> tuple[list[Task], list[list[Device]]]:
+        tasks = request.application.tasks
+        options = [self._eligible_or_raise(task, request.infrastructure,
+                                           request.constraints)
+                   for task in tasks]
+        return tasks, options
 
     def _objective(self, application, infrastructure, tasks, options,
                    choices: list[int],
@@ -364,15 +782,19 @@ class _CognitiveBase(PlacementStrategy):
         return cache
 
     def _compiled_objective(self, application, infrastructure, tasks,
-                            options, source_device: str | None = None):
-        """Build a memoized choices->score callable for one place() run.
+                            options, source_device: str | None = None,
+                            on_evaluate: Callable[[], None]
+                            | None = None):
+        """Build a memoized choices->score callable for one solve run.
 
         Two cache levels: per-term costs via :class:`PlacementCostCache`
-        (valid across place() calls, generation-invalidated), and a
+        (valid across solve() calls, generation-invalidated), and a
         per-call memo keyed on the discrete choice tuple — the relaxed
         continuous encodings (PSO/firefly) decode many nearby positions
         to the same assignment, so full re-evaluations collapse. Both
         layers return exactly what :meth:`_objective` would.
+        *on_evaluate* fires once per memo miss — the budget meter the
+        anytime sessions charge (memo hits are free by design).
         """
         cache = self._cache_for(infrastructure)
         names = [task.name for task in tasks]
@@ -385,6 +807,8 @@ class _CognitiveBase(PlacementStrategy):
             key = tuple(choices)
             score = memo.get(key)
             if score is None:
+                if on_evaluate is not None:
+                    on_evaluate()
                 assignment = {}
                 for i, choice in enumerate(key):
                     assignment[names[i]] = options[i][choice].name
@@ -404,38 +828,24 @@ class PsoPlacement(_CognitiveBase):
 
     name = "pso"
 
-    def place(self, application, infrastructure, constraints) -> Placement:
-        tasks = application.tasks
-        options = [self._eligible_or_raise(t, infrastructure, constraints)
-                   for t in tasks]
+    def _build(self, request, on_evaluate):
+        tasks, options = self._options_for(request)
         dims = sum(len(opts) for opts in options)
+        compiled = self._compiled_objective(
+            request.application, request.infrastructure, tasks, options,
+            request.constraints.source_device, on_evaluate)
 
-        def decode(position: list[float]) -> list[int]:
-            # index(max(...)) picks the first maximum, exactly like the
-            # argmax over range() it replaces — just without a lambda
-            # call per element.
-            choices = []
-            offset = 0
-            for opts in options:
-                end = offset + len(opts)
-                scores = position[offset:end]
-                choices.append(scores.index(max(scores)))
-                offset = end
-            return choices
+        def objective(position: list[float]) -> float:
+            return compiled(_decode_relaxed(position, options))
 
-        objective = self._compiled_objective(
-            application, infrastructure, tasks, options,
-            constraints.source_device)
-        pso = ParticleSwarmOptimizer(dims, self.rng, particles=16)
-        best_position, _ = pso.minimize(
-            lambda pos: objective(decode(pos)),
-            iterations=self.iterations)
-        choices = decode(best_position)
-        assignment = {
-            task.name: options[i][choice].name
-            for i, (task, choice) in enumerate(zip(tasks, choices))
-        }
-        return Placement(assignment, self.name)
+        def decode(position: list[float]) -> dict[str, str]:
+            choices = _decode_relaxed(position, options)
+            return {task.name: options[i][choice].name
+                    for i, (task, choice) in enumerate(zip(tasks,
+                                                           choices))}
+
+        optimizer = ParticleSwarmOptimizer(dims, self.rng, particles=16)
+        return optimizer, objective, decode
 
 
 class FireflyPlacement(_CognitiveBase):
@@ -443,38 +853,24 @@ class FireflyPlacement(_CognitiveBase):
 
     name = "firefly"
 
-    def place(self, application, infrastructure, constraints) -> Placement:
-        tasks = application.tasks
-        options = [self._eligible_or_raise(t, infrastructure, constraints)
-                   for t in tasks]
+    def _build(self, request, on_evaluate):
+        tasks, options = self._options_for(request)
         dims = sum(len(opts) for opts in options)
+        compiled = self._compiled_objective(
+            request.application, request.infrastructure, tasks, options,
+            request.constraints.source_device, on_evaluate)
 
-        def decode(position: list[float]) -> list[int]:
-            # index(max(...)) picks the first maximum, exactly like the
-            # argmax over range() it replaces — just without a lambda
-            # call per element.
-            choices = []
-            offset = 0
-            for opts in options:
-                end = offset + len(opts)
-                scores = position[offset:end]
-                choices.append(scores.index(max(scores)))
-                offset = end
-            return choices
+        def objective(position: list[float]) -> float:
+            return compiled(_decode_relaxed(position, options))
 
-        objective = self._compiled_objective(
-            application, infrastructure, tasks, options,
-            constraints.source_device)
+        def decode(position: list[float]) -> dict[str, str]:
+            choices = _decode_relaxed(position, options)
+            return {task.name: options[i][choice].name
+                    for i, (task, choice) in enumerate(zip(tasks,
+                                                           choices))}
+
         optimizer = FireflyOptimizer(dims, self.rng, fireflies=12)
-        best_position, _ = optimizer.minimize(
-            lambda pos: objective(decode(pos)),
-            iterations=self.iterations)
-        choices = decode(best_position)
-        assignment = {
-            task.name: options[i][choice].name
-            for i, (task, choice) in enumerate(zip(tasks, choices))
-        }
-        return Placement(assignment, self.name)
+        return optimizer, objective, decode
 
 
 class AcoPlacement(_CognitiveBase):
@@ -482,30 +878,27 @@ class AcoPlacement(_CognitiveBase):
 
     name = "aco"
 
-    def place(self, application, infrastructure, constraints) -> Placement:
-        tasks = application.tasks
-        options = [self._eligible_or_raise(t, infrastructure, constraints)
-                   for t in tasks]
+    def _build(self, request, on_evaluate):
+        tasks, options = self._options_for(request)
         max_options = max(len(opts) for opts in options)
-
         compiled = self._compiled_objective(
-            application, infrastructure, tasks, options,
-            constraints.source_device)
+            request.application, request.infrastructure, tasks, options,
+            request.constraints.source_device, on_evaluate)
 
         def objective(choices: list[int]) -> float:
-            clamped = [min(c, len(options[i]) - 1)
-                       for i, c in enumerate(choices)]
-            return compiled(clamped)
+            return compiled([min(c, len(options[i]) - 1)
+                             for i, c in enumerate(choices)])
 
-        aco = AntColonyOptimizer(len(tasks), max_options, self.rng,
-                                 ants=12)
-        best_choices, _ = aco.minimize(objective,
-                                       iterations=self.iterations)
-        assignment = {
-            task.name: options[i][min(choice, len(options[i]) - 1)].name
-            for i, (task, choice) in enumerate(zip(tasks, best_choices))
-        }
-        return Placement(assignment, self.name)
+        def decode(choices: list[int]) -> dict[str, str]:
+            return {
+                tasks[i].name: options[i][min(c, len(options[i]) - 1)]
+                .name
+                for i, c in enumerate(choices)
+            }
+
+        optimizer = AntColonyOptimizer(len(tasks), max_options,
+                                       self.rng, ants=12)
+        return optimizer, objective, decode
 
 
 @dataclass
@@ -592,6 +985,14 @@ def make_strategy(name: str, rng: random.Random | None = None
         from repro.mirto.swarm_rules import RuleBasedPlacement
         return RuleBasedPlacement(rng=rng)
 
+    def exact():
+        from repro.mirto.exact import ExactPlacement
+        return ExactPlacement()
+
+    def portfolio():
+        from repro.mirto.portfolio import PortfolioPlacement
+        return PortfolioPlacement(seed=rng.getrandbits(32))
+
     strategies = {
         "random": lambda: RandomPlacement(rng),
         "round-robin": RoundRobinPlacement,
@@ -600,6 +1001,8 @@ def make_strategy(name: str, rng: random.Random | None = None
         "aco": lambda: AcoPlacement(rng),
         "firefly": lambda: FireflyPlacement(rng),
         "swarm-rule": swarm_rule,
+        "exact": exact,
+        "portfolio": portfolio,
     }
     if name not in strategies:
         raise OrchestrationError(f"unknown placement strategy {name!r}")

@@ -65,6 +65,21 @@ class ParticleSwarmOptimizer:
     def minimize(self, objective: Callable[[list[float]], float],
                  iterations: int = 50) -> tuple[list[float], float]:
         """Run PSO; returns (best position, best value)."""
+        stepper = self.steps(objective)
+        best, value = next(stepper)  # initialization point
+        for _ in range(iterations):
+            best, value = next(stepper)
+        return best, value
+
+    def steps(self, objective: Callable[[list[float]], float]):
+        """Generator form of :meth:`minimize` for anytime callers.
+
+        The first ``next()`` initializes and evaluates the population;
+        every later ``next()`` runs one full PSO iteration. Each yield
+        is ``(best position, best value)`` so far. RNG draw order is
+        identical to :meth:`minimize` — driving the generator for *k*
+        iterations is bit-identical to ``minimize(..., iterations=k)``.
+        """
         lo, hi = self.bounds
         span = hi - lo
         positions = [[self.rng.uniform(lo, hi)
@@ -79,6 +94,7 @@ class ParticleSwarmOptimizer:
                          key=lambda i: personal_value[i])
         global_best = list(personal_best[best_index])
         global_value = personal_value[best_index]
+        yield list(global_best), global_value
         # Local bindings keep attribute lookups out of the O(particles x
         # dimensions) update loop; arithmetic and RNG draw order are
         # exactly the canonical formulation's, so runs stay bit-stable.
@@ -86,7 +102,7 @@ class ParticleSwarmOptimizer:
         inertia, cognitive, social = \
             self.inertia, self.cognitive, self.social
         dims = range(self.dimensions)
-        for _ in range(iterations):
+        while True:
             for i in range(self.num_particles):
                 velocity = velocities[i]
                 position = positions[i]
@@ -106,7 +122,7 @@ class ParticleSwarmOptimizer:
                         global_value = value
                         global_best = list(position)
             self.trace.best_per_iteration.append(global_value)
-        return global_best, global_value
+            yield list(global_best), global_value
 
 
 class FireflyOptimizer:
@@ -141,14 +157,33 @@ class FireflyOptimizer:
     def minimize(self, objective: Callable[[list[float]], float],
                  iterations: int = 40) -> tuple[list[float], float]:
         """Run the firefly algorithm; returns (best position, value)."""
+        stepper = self.steps(objective)
+        best, value = next(stepper)  # initialization point
+        for _ in range(iterations):
+            best, value = next(stepper)
+        return best, value
+
+    def steps(self, objective: Callable[[list[float]], float]):
+        """Generator form of :meth:`minimize` for anytime callers.
+
+        First ``next()`` initializes the population; each later
+        ``next()`` is one iteration. Yields ``(best position, best
+        value)``. The current-best firefly never moves (nothing is
+        brighter), so the population minimum is non-increasing and the
+        yielded best matches what :meth:`minimize` would return after
+        the same number of iterations, draw for draw.
+        """
         lo, hi = self.bounds
         span = hi - lo
         positions = [[self.rng.uniform(lo, hi)
                       for _ in range(self.dimensions)]
                      for _ in range(self.num_fireflies)]
         brightness = [objective(p) for p in positions]
+        best_index = min(range(self.num_fireflies),
+                         key=lambda k: brightness[k])
+        yield list(positions[best_index]), brightness[best_index]
         alpha = self.alpha
-        for _ in range(iterations):
+        while True:
             for i in range(self.num_fireflies):
                 for j in range(self.num_fireflies):
                     if brightness[j] >= brightness[i]:
@@ -166,9 +201,9 @@ class FireflyOptimizer:
                     brightness[i] = objective(positions[i])
             alpha *= self.alpha_decay
             self.trace.best_per_iteration.append(min(brightness))
-        best_index = min(range(self.num_fireflies),
-                         key=lambda k: brightness[k])
-        return positions[best_index], brightness[best_index]
+            best_index = min(range(self.num_fireflies),
+                             key=lambda k: brightness[k])
+            yield list(positions[best_index]), brightness[best_index]
 
 
 class AntColonyOptimizer:
@@ -225,9 +260,25 @@ class AntColonyOptimizer:
     def minimize(self, objective: Callable[[list[int]], float],
                  iterations: int = 40) -> tuple[list[int], float]:
         """Run ACO; returns (best choice vector, best value)."""
+        stepper = self.steps(objective)
+        global_best, global_value = next(stepper)  # empty init point
+        for _ in range(iterations):
+            global_best, global_value = next(stepper)
+        assert global_best is not None
+        return global_best, global_value
+
+    def steps(self, objective: Callable[[list[int]], float]):
+        """Generator form of :meth:`minimize` for anytime callers.
+
+        ACO has no evaluated initial population, so the first ``next()``
+        yields ``(None, inf)``; each later ``next()`` runs one iteration
+        and yields ``(best choices, best value)`` so far, with RNG draw
+        order identical to :meth:`minimize`.
+        """
         global_best: list[int] | None = None
         global_value = math.inf
-        for _ in range(iterations):
+        yield None, global_value
+        while True:
             solutions = []
             for _ in range(self.ants):
                 choices = [self._pick(d) for d in range(self.n_decisions)]
@@ -247,5 +298,4 @@ class AntColonyOptimizer:
                 for decision, option in enumerate(choices):
                     self.pheromone[decision][option] += deposit
             self.trace.best_per_iteration.append(global_value)
-        assert global_best is not None
-        return global_best, global_value
+            yield list(global_best), global_value

@@ -23,6 +23,7 @@ from repro.dpe.modeling import ScenarioModel
 from repro.mirto.placement import (
     Placement,
     PlacementConstraints,
+    PlacementRequest,
     PlacementStrategy,
     estimate_placement_kpis,
 )
@@ -52,7 +53,7 @@ class RuleBasedPlacement(PlacementStrategy):
         self.rule = rule or DEFAULT_RULE
         self.rng = rng or random.Random(0)
 
-    def place(self, application, infrastructure, constraints) -> Placement:
+    def _place(self, application, infrastructure, constraints) -> Placement:
         assignment: dict[str, str] = {}
         # Track load the swarm itself creates during this placement so
         # the utilization signal reflects its own earlier decisions.
@@ -110,8 +111,10 @@ def evolve_placement_rule(scenario: ScenarioModel,
         strategy = RuleBasedPlacement(rule, random.Random(seed))
         total = 0.0
         for _ in range(sessions_per_eval):
-            placement = strategy.place(application, infrastructure,
-                                       constraints)
+            placement = strategy.solve(PlacementRequest(
+                application=application,
+                infrastructure=infrastructure,
+                constraints=constraints)).placement
             latency, energy = estimate_placement_kpis(
                 application, placement, infrastructure)
             total += latency + 0.05 * energy
